@@ -1,0 +1,61 @@
+// Command experiments runs the paper-reproduction experiment suite
+// (Table 1, Figure 1, and the per-theorem validations E1–E9 indexed
+// in DESIGN.md) and renders the reports as text or CSV.
+//
+// Usage:
+//
+//	experiments [-run E1,E4] [-seed 1] [-quick] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "", "comma-separated experiment IDs (default: all)")
+	seed := flag.Uint64("seed", 1, "master random seed")
+	quick := flag.Bool("quick", false, "shrink parameters for a fast pass")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	ids := experiments.IDs()
+	if *run != "" {
+		ids = strings.Split(*run, ",")
+	}
+	opt := experiments.Options{Seed: *seed, Quick: *quick}
+	for _, id := range ids {
+		rep, err := experiments.Run(strings.TrimSpace(id), opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *csv {
+			for _, t := range rep.Tables {
+				fmt.Printf("# %s / %s\n", rep.ID, t.Name)
+				if err := t.WriteCSV(os.Stdout); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+			}
+			continue
+		}
+		if err := rep.WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,234 @@
+// Command projfreq builds a summary over a CSV dataset and answers
+// projected frequency queries on column subsets chosen after the data
+// was read — the paper's computational model as a command-line tool.
+//
+// Usage:
+//
+//	projfreq -data rows.csv -q 4 -summary sample -query 0,2,5 -stats f0,f1,hh
+//	projfreq -demo -summary net -alpha 0.3 -query 0,1,2,3
+//
+// The -demo flag generates a built-in census-like dataset so the tool
+// runs without any input file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/freq"
+	"repro/internal/rng"
+	"repro/internal/words"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "projfreq:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		dataPath = flag.String("data", "", "CSV file of rows (symbols in [q])")
+		q        = flag.Int("q", 2, "alphabet size Q")
+		demo     = flag.Bool("demo", false, "use a built-in demo dataset instead of -data")
+		kind     = flag.String("summary", "exact", "summary kind: exact | sample | net")
+		eps      = flag.Float64("eps", 0.05, "accuracy parameter")
+		delta    = flag.Float64("delta", 0.01, "failure probability (sample summary)")
+		alpha    = flag.Float64("alpha", 0.3, "alpha-net parameter (net summary)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		queryStr = flag.String("query", "", "comma-separated column indices (required)")
+		statsStr = flag.String("stats", "f0,f1", "comma-separated stats: f0,f1,f2,hh,freq:<pattern>")
+		phi      = flag.Float64("phi", 0.1, "heavy hitter threshold")
+	)
+	flag.Parse()
+
+	table, err := loadData(*dataPath, *demo, *q, *seed)
+	if err != nil {
+		return err
+	}
+	d := table.Dim()
+	if *queryStr == "" {
+		return fmt.Errorf("missing -query (columns in [0,%d))", d)
+	}
+	cols, err := parseInts(*queryStr)
+	if err != nil {
+		return err
+	}
+	c, err := words.NewColumnSet(d, cols...)
+	if err != nil {
+		return err
+	}
+
+	sum, err := buildSummary(*kind, d, table.Alphabet(), *eps, *delta, *alpha, *seed)
+	if err != nil {
+		return err
+	}
+	src := table.Source()
+	for {
+		w, ok := src.Next()
+		if !ok {
+			break
+		}
+		sum.Observe(w)
+	}
+	fmt.Printf("summary=%s rows=%d dim=%d alphabet=%d bytes=%d\n",
+		sum.Name(), sum.Rows(), d, table.Alphabet(), sum.SizeBytes())
+	fmt.Printf("query C=%v (|C|=%d)\n", c, c.Len())
+
+	for _, stat := range strings.Split(*statsStr, ",") {
+		stat = strings.TrimSpace(stat)
+		if err := answer(sum, table, c, stat, *phi, *seed); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func loadData(path string, demo bool, q int, seed uint64) (*words.Table, error) {
+	if demo {
+		src, err := workload.Census(workload.CensusConfig{
+			N: 20000, Card: []int{6, 4, 8, 5, 3, 4, 6, 2}, Groups: 12,
+			Skew: 1.1, Mixing: 0.15, Seed: seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return words.Collect(src, -1), nil
+	}
+	if path == "" {
+		return nil, fmt.Errorf("need -data or -demo")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return words.ReadCSV(f, q)
+}
+
+func buildSummary(kind string, d, q int, eps, delta, alpha float64, seed uint64) (core.Summary, error) {
+	switch kind {
+	case "exact":
+		return core.NewExact(d, q), nil
+	case "sample":
+		return core.NewSampleForError(d, q, eps, delta, seed), nil
+	case "net":
+		return core.NewNet(d, q, core.NetConfig{Alpha: alpha, Epsilon: eps, Moments: []float64{2}, StableReps: 60, Seed: seed})
+	default:
+		return nil, fmt.Errorf("unknown summary kind %q", kind)
+	}
+}
+
+func answer(sum core.Summary, table *words.Table, c words.ColumnSet, stat string, phi float64, seed uint64) error {
+	switch {
+	case stat == "f0":
+		if q, ok := sum.(core.F0Querier); ok {
+			v, err := q.F0(c)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  F0 = %.1f\n", v)
+			return nil
+		}
+		fmt.Printf("  F0: unsupported by this summary (Section 4 lower bound); exact = %d\n",
+			freq.FromTable(table, c).Support())
+	case stat == "f1":
+		fmt.Printf("  F1 = %d (query-independent)\n", sum.Rows())
+	case stat == "f2":
+		if q, ok := sum.(core.FpQuerier); ok {
+			v, err := q.Fp(c, 2)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  F2 = %.1f\n", v)
+			return nil
+		}
+		fmt.Printf("  F2: unsupported by this summary (Theorem 5.4); exact = %.1f\n",
+			freq.FromTable(table, c).F(2))
+	case stat == "hh":
+		if q, ok := sum.(core.HeavyHitterQuerier); ok {
+			hits, err := q.HeavyHitters(c, 1, phi)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  heavy hitters (phi=%.2f, l1): %d found\n", phi, len(hits))
+			for i, h := range hits {
+				if i == 10 {
+					fmt.Println("    ...")
+					break
+				}
+				fmt.Printf("    %v  est=%.1f\n", h.Pattern, h.Estimate)
+			}
+			return nil
+		}
+		fmt.Println("  hh: unsupported by this summary")
+	case strings.HasPrefix(stat, "freq:"):
+		pat, err := parsePattern(strings.TrimPrefix(stat, "freq:"), c.Len())
+		if err != nil {
+			return err
+		}
+		if q, ok := sum.(core.FrequencyQuerier); ok {
+			v, err := q.Frequency(c, pat)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  f(%v) = %.1f\n", pat, v)
+			return nil
+		}
+		fmt.Println("  freq: unsupported by this summary")
+	case strings.HasPrefix(stat, "sample:"):
+		p, err := strconv.ParseFloat(strings.TrimPrefix(stat, "sample:"), 64)
+		if err != nil {
+			return err
+		}
+		if q, ok := sum.(core.LpSampleQuerier); ok {
+			s, err := q.SampleLp(c, p, rng.New(seed^0x5a))
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  l%.2g-sample: %v (p=%.4g)\n", p, s.Pattern, s.Probability)
+			return nil
+		}
+		fmt.Println("  sample: unsupported by this summary (Theorem 5.5)")
+	default:
+		return fmt.Errorf("unknown stat %q", stat)
+	}
+	return nil
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad column %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parsePattern(s string, want int) (words.Word, error) {
+	vals, err := parseInts(s)
+	if err != nil {
+		return nil, err
+	}
+	if len(vals) != want {
+		return nil, fmt.Errorf("pattern has %d symbols, query has %d columns", len(vals), want)
+	}
+	w := make(words.Word, len(vals))
+	for i, v := range vals {
+		if v < 0 || v >= words.MaxAlphabet {
+			return nil, fmt.Errorf("symbol %d out of range", v)
+		}
+		w[i] = uint16(v)
+	}
+	return w, nil
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/words"
+)
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("1, 3,5")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[2] != 5 {
+		t.Fatalf("parseInts: %v, %v", got, err)
+	}
+	if _, err := parseInts("1,x"); err == nil {
+		t.Fatal("non-numeric must error")
+	}
+}
+
+func TestParsePattern(t *testing.T) {
+	w, err := parsePattern("2:0:7", 3)
+	if err == nil {
+		t.Fatal("colon separator must error")
+	}
+	w, err = parsePattern("2,0,7", 3)
+	if err != nil || !w.Equal(words.Word{2, 0, 7}) {
+		t.Fatalf("parsePattern: %v, %v", w, err)
+	}
+	if _, err := parsePattern("1,2", 3); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	if _, err := parsePattern("-1,0,0", 3); err == nil {
+		t.Fatal("negative symbol must error")
+	}
+}
+
+func TestLoadDataDemo(t *testing.T) {
+	tb, err := loadData("", true, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() == 0 || tb.Dim() != 8 {
+		t.Fatalf("demo table: %d rows, %d cols", tb.NumRows(), tb.Dim())
+	}
+	if _, err := loadData("", false, 2, 1); err == nil {
+		t.Fatal("missing -data without -demo must error")
+	}
+	if _, err := loadData("/nonexistent/rows.csv", false, 2, 1); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestBuildSummaryKinds(t *testing.T) {
+	for _, kind := range []string{"exact", "sample", "net"} {
+		s, err := buildSummary(kind, 8, 2, 0.2, 0.05, 0.3, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if s.Dim() != 8 {
+			t.Fatalf("%s: dim %d", kind, s.Dim())
+		}
+	}
+	if _, err := buildSummary("bogus", 8, 2, 0.2, 0.05, 0.3, 1); err == nil {
+		t.Fatal("unknown kind must error")
+	}
+}

@@ -1,0 +1,50 @@
+// Command tradeoff emits the Figure 1 series (relative space and
+// approximation factor versus α) as CSV on stdout, for any d. The
+// three panes of the paper's figure are columns of one CSV: plot
+// alpha vs relspace (pane 1), alpha vs approx (pane 2), and relspace
+// vs approx (pane 3).
+//
+// Usage:
+//
+//	tradeoff -d 20 -steps 19 > figure1.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/anet"
+)
+
+func main() {
+	var (
+		d     = flag.Int("d", 20, "dimensionality")
+		steps = flag.Int("steps", 19, "alpha grid points in (0, 1/2)")
+	)
+	flag.Parse()
+	if err := run(*d, *steps); err != nil {
+		fmt.Fprintln(os.Stderr, "tradeoff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(d, steps int) error {
+	if steps < 1 {
+		return fmt.Errorf("need at least one step")
+	}
+	fmt.Println("alpha,relspace_entropy_bound,relspace_exact,approx_factor,log2_approx")
+	for i := 1; i <= steps; i++ {
+		alpha := float64(i) / float64(2*(steps+1))
+		n, err := anet.NewNet(d, alpha)
+		if err != nil {
+			return err
+		}
+		bound := math.Exp2(n.LogSizeBound() - float64(d))
+		exact := n.RelativeSpace()
+		approx := math.Exp2(alpha * float64(d))
+		fmt.Printf("%.4f,%.6g,%.6g,%.6g,%.4f\n", alpha, bound, exact, approx, alpha*float64(d))
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+package projfreq_test
+
+import (
+	"fmt"
+
+	projfreq "repro"
+)
+
+// Example demonstrates the paper's computational model: summaries are
+// built while streaming, and the projection query arrives only after
+// the data has gone by.
+func Example() {
+	const d, q = 6, 3
+	sum := projfreq.NewSampleSummarySize(d, q, 400, 1)
+
+	// Stream: the pattern (2,1) on columns {0,1} appears in 30% of rows.
+	r := projfreq.NewRand(7)
+	for i := 0; i < 10000; i++ {
+		row := make(projfreq.Word, d)
+		if r.Float64() < 0.3 {
+			row[0], row[1] = 2, 1
+		} else {
+			row[0], row[1] = uint16(r.Intn(q)), uint16(r.Intn(q))
+		}
+		for j := 2; j < d; j++ {
+			row[j] = uint16(r.Intn(q))
+		}
+		sum.Observe(row)
+	}
+
+	// Query chosen after observation.
+	c, _ := projfreq.NewColumnSet(d, 0, 1)
+	est, _ := sum.Frequency(c, projfreq.Word{2, 1})
+	fmt.Printf("estimated share of (2,1): %.0f%%\n", 100*est/float64(sum.Rows()))
+	// Output:
+	// estimated share of (2,1): 37%
+}
+
+// ExampleNewNetSummary shows Algorithm 1 (Theorem 6.5): projected F0
+// for arbitrary post-hoc queries, within a 2^{O(αd)} factor.
+func ExampleNewNetSummary() {
+	const d = 8
+	net, _ := projfreq.NewNetSummary(d, 2, projfreq.NetConfig{
+		Alpha: 0.25, Epsilon: 0.2, Seed: 3,
+	})
+	// Rows repeat over a catalog of 4 patterns on the first 3 columns.
+	r := projfreq.NewRand(5)
+	for i := 0; i < 5000; i++ {
+		row := make(projfreq.Word, d)
+		pat := r.Intn(4)
+		row[0], row[1], row[2] = uint16(pat&1), uint16(pat>>1), 1
+		for j := 3; j < d; j++ {
+			row[j] = uint16(r.Intn(2))
+		}
+		net.Observe(row)
+	}
+	c, _ := projfreq.NewColumnSet(d, 0, 1) // size 2 is a net member: exact sketch answer
+	f0, _ := net.F0(c)
+	fmt.Printf("distinct patterns on {0,1}: %.0f\n", f0)
+	// Output:
+	// distinct patterns on {0,1}: 4
+}

@@ -1,0 +1,71 @@
+// Quickstart: stream a small dataset into the three summaries, then
+// answer projected queries for a column set chosen only afterwards —
+// the paper's model in twenty lines of API use.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	projfreq "repro"
+)
+
+func main() {
+	const (
+		d    = 10 // columns
+		q    = 4  // alphabet [Q]
+		seed = 42
+	)
+
+	// Three summaries with different space/guarantee profiles.
+	exact := projfreq.NewExactSummary(d, q)
+	sample := projfreq.NewSampleSummary(d, q, 0.02, 0.01, seed)
+	net, err := projfreq.NewNetSummary(d, q, projfreq.NetConfig{Alpha: 0.3, Epsilon: 0.2, Seed: seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Stream rows once; no query is known yet. Rows 0–2 correlate
+	// columns {0,1,2}; the rest is noise.
+	r := projfreq.NewRand(seed)
+	for i := 0; i < 20000; i++ {
+		row := make(projfreq.Word, d)
+		if r.Float64() < 0.4 {
+			row[0], row[1], row[2] = 3, 1, 2 // a frequent combination
+		} else {
+			for j := 0; j < 3; j++ {
+				row[j] = uint16(r.Intn(q))
+			}
+		}
+		for j := 3; j < d; j++ {
+			row[j] = uint16(r.Intn(q))
+		}
+		exact.Observe(row)
+		sample.Observe(row)
+		net.Observe(row)
+	}
+
+	// NOW the analyst picks a subspace.
+	c, err := projfreq.NewColumnSet(d, 0, 1, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query C = %v after observing %d rows\n\n", c, exact.Rows())
+
+	// Exact answers (the Θ(nd) baseline).
+	f0, _ := exact.F0(c)
+	truth, _ := exact.Frequency(c, projfreq.Word{3, 1, 2})
+	fmt.Printf("exact:  F0=%v  f(3,1,2)=%v  bytes=%d\n", f0, truth, exact.SizeBytes())
+
+	// Sampling answers point frequencies in tiny space (Theorem 5.1).
+	est, _ := sample.Frequency(c, projfreq.Word{3, 1, 2})
+	hh, _ := sample.HeavyHitters(c, 1, 0.2)
+	fmt.Printf("sample: f̂(3,1,2)=%.0f  heavy hitters=%d  bytes=%d\n", est, len(hh), sample.SizeBytes())
+
+	// The α-net answers F0 within a q^{O(αd)} factor (Theorem 6.5 /
+	// Lemma 6.4); the answer reports its own distortion bound.
+	ans, _ := net.F0Answer(c)
+	fmt.Printf("net:    F̂0=%.1f (true %v; rounded %d columns, distortion bound %.0f)\n",
+		ans.Estimate, f0, ans.Distance, ans.Distortion)
+	fmt.Printf("        sketches=%d  bytes=%d\n", net.NumSketches(), net.SizeBytes())
+}

@@ -1,0 +1,96 @@
+// Subspace exploration: the paper's clustering scenario (Section 1).
+// Data clusters tightly on a hidden column subset; spurious dimensions
+// hide the structure in the full space. Scanning candidate subspaces
+// with projected F0 and F2 statistics exposes the signal: a clustered
+// subspace has few distinct patterns (low F0) concentrated in heavy
+// groups (high F2 relative to n²/F0).
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	projfreq "repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	const (
+		seed = 23
+		d    = 12
+		q    = 4
+	)
+	// Hidden structure on columns {1, 4, 7, 9}; everything else noise.
+	signal := []int{1, 4, 7, 9}
+	src, err := workload.Clustered(workload.ClusteredConfig{
+		D: d, Q: q, N: 20000, Clusters: 6,
+		Signal: signal, Noise: 0.03, Seed: seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sum := projfreq.NewExactSummary(d, q)
+	for {
+		w, ok := src.Next()
+		if !ok {
+			break
+		}
+		sum.Observe(w)
+	}
+	n := float64(sum.Rows())
+
+	// Score all 3-column subspaces by a concentration statistic:
+	// F2 / (n² / F0) — how much heavier the pattern distribution is
+	// than a uniform one over the same support.
+	type scored struct {
+		cols []int
+		f0   float64
+		conc float64
+	}
+	var results []scored
+	for a := 0; a < d; a++ {
+		for b := a + 1; b < d; b++ {
+			for cc := b + 1; cc < d; cc++ {
+				cset, err := projfreq.NewColumnSet(d, a, b, cc)
+				if err != nil {
+					log.Fatal(err)
+				}
+				f0, _ := sum.F0(cset)
+				f2, _ := sum.Fp(cset, 2)
+				conc := f2 / (n * n / f0)
+				results = append(results, scored{[]int{a, b, cc}, f0, conc})
+			}
+		}
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].conc > results[j].conc })
+
+	fmt.Printf("scanned %d candidate 3-subspaces over %d rows\n", len(results), int(n))
+	fmt.Println("\ntop 5 by concentration (F2 * F0 / n²):")
+	for _, r := range results[:5] {
+		fmt.Printf("  columns %v   F0=%4.0f  concentration=%6.2f  %s\n",
+			r.cols, r.f0, r.conc, marker(r.cols, signal))
+	}
+	fmt.Println("\nbottom 3 (pure noise):")
+	for _, r := range results[len(results)-3:] {
+		fmt.Printf("  columns %v   F0=%4.0f  concentration=%6.2f\n", r.cols, r.f0, r.conc)
+	}
+	fmt.Println("\nsubsets of the hidden signal {1,4,7,9} dominate the ranking: the")
+	fmt.Println("projected frequency statistics recover the clustered subspace.")
+}
+
+func marker(cols, signal []int) string {
+	inSignal := 0
+	for _, c := range cols {
+		for _, s := range signal {
+			if c == s {
+				inSignal++
+			}
+		}
+	}
+	if inSignal == len(cols) {
+		return "<== inside hidden subspace"
+	}
+	return ""
+}

@@ -1,0 +1,232 @@
+package anet
+
+import (
+	"encoding"
+	"fmt"
+	"sort"
+
+	"repro/internal/hashing"
+	"repro/internal/words"
+)
+
+// Estimator is the sketch contract Algorithm 1 requires: a
+// β-approximate estimator of one projected frequency statistic fed
+// with pattern fingerprints. KMV/HLL/BJKST satisfy it for F0 and the
+// stable and CountSketch-based adapters satisfy it for F_p.
+type Estimator interface {
+	Add(item uint64)
+	Estimate() float64
+	SizeBytes() int
+}
+
+// Factory builds a fresh Estimator for the net member with the given
+// subset ID (its bitmask); implementations must derive per-subset
+// seeds from the ID so sketches are independent.
+type Factory func(subsetID uint64) Estimator
+
+// MetaSummary is Algorithm 1 (ProjectedFreq): it generates the α-net
+// N, keeps one sketch per member U ∈ N updated with the projection of
+// every observed row onto U, and answers a query C from the sketch of
+// an α-neighbour C′, inheriting the Lemma 6.4 rounding distortion.
+type MetaSummary struct {
+	net     *Net
+	masks   []uint64
+	subsets []words.ColumnSet
+	sk      []Estimator
+	bufs    []words.Word
+	keyBuf  []byte
+	rows    int64
+}
+
+// NewMetaSummary materializes the net (d ≤ 30 is required for
+// enumeration; the experiments use d ≤ 16) and one sketch per member.
+func NewMetaSummary(net *Net, factory Factory) (*MetaSummary, error) {
+	m := &MetaSummary{net: net}
+	err := net.EnumerateMasks(func(mask uint64) bool {
+		m.masks = append(m.masks, mask)
+		cs := maskColumns(mask, net.Dim())
+		m.subsets = append(m.subsets, cs)
+		m.sk = append(m.sk, factory(mask))
+		m.bufs = append(m.bufs, make(words.Word, cs.Len()))
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(m.masks) == 0 {
+		return nil, fmt.Errorf("anet: net has no members")
+	}
+	return m, nil
+}
+
+// Net returns the underlying α-net.
+func (m *MetaSummary) Net() *Net { return m.net }
+
+// NumSketches returns |N|, the count of maintained sketches.
+func (m *MetaSummary) NumSketches() int { return len(m.sk) }
+
+// Rows returns the number of rows observed.
+func (m *MetaSummary) Rows() int64 { return m.rows }
+
+// Observe feeds one row into every member sketch. This is the
+// O(|N|) per-row cost that Theorem 6.5 trades against query-time
+// generality; the paper's claim is about space, not update time.
+func (m *MetaSummary) Observe(w words.Word) {
+	if len(w) != m.net.Dim() {
+		panic(fmt.Sprintf("anet: row length %d != dimension %d", len(w), m.net.Dim()))
+	}
+	m.rows++
+	for i, cs := range m.subsets {
+		buf := m.bufs[i]
+		w.ProjectInto(cs, buf)
+		m.keyBuf = words.AppendKey(m.keyBuf[:0], buf, words.FullColumnSet(cs.Len()))
+		m.sk[i].Add(hashing.Fingerprint64(m.keyBuf))
+	}
+}
+
+// Answer is the result of a meta-summary query.
+type Answer struct {
+	// Estimate is the sketch estimate at the neighbour.
+	Estimate float64
+	// Neighbor is the net member the query was rounded to.
+	Neighbor words.ColumnSet
+	// Distance is |C Δ C′|; 0 means the query was answered directly.
+	Distance int
+	// Distortion is the Lemma 6.4 bound 2^{Distance·c(p)} for the
+	// problem's moment order, folded in by the caller via
+	// anet.Distortion; stored here for reporting.
+	Distortion float64
+}
+
+// Query answers the projection query C for a problem with moment
+// order p (p = 0 for F0). The estimate is the raw neighbour-sketch
+// value; the true answer lies within Distortion·β of it per
+// Theorem 6.5.
+func (m *MetaSummary) Query(c words.ColumnSet, p float64) (Answer, error) {
+	return m.QueryMode(c, p, RoundNearest)
+}
+
+// QueryMode is Query with an explicit neighbour rounding mode (the
+// DESIGN.md §5 ablation).
+func (m *MetaSummary) QueryMode(c words.ColumnSet, p float64, mode RoundingMode) (Answer, error) {
+	if c.Dim() != m.net.Dim() {
+		return Answer{}, fmt.Errorf("anet: query dimension %d != net dimension %d", c.Dim(), m.net.Dim())
+	}
+	nb, dist := m.net.NeighborMode(c, mode)
+	idx := m.indexOf(nb.Mask())
+	if idx < 0 {
+		return Answer{}, fmt.Errorf("anet: neighbour %v not materialized", nb)
+	}
+	return Answer{
+		Estimate:   m.sk[idx].Estimate(),
+		Neighbor:   nb,
+		Distance:   dist,
+		Distortion: Distortion(p, dist),
+	}, nil
+}
+
+// Mergeable is implemented by estimators that support distributed
+// ingestion; the concrete sketches in internal/sketch all do, each
+// with a typed Merge — this adapter dispatches on the dynamic type.
+type Mergeable interface {
+	MergeEstimator(other Estimator) error
+}
+
+// Merge folds another meta-summary built over the same net and
+// factory into m, enabling shard-and-merge ingestion of partitioned
+// streams. Every member sketch must support merging.
+func (m *MetaSummary) Merge(o *MetaSummary) error {
+	if len(m.sk) != len(o.sk) {
+		return fmt.Errorf("anet: merging nets of different size (%d vs %d)", len(m.sk), len(o.sk))
+	}
+	for i := range m.masks {
+		if m.masks[i] != o.masks[i] {
+			return fmt.Errorf("anet: member %d mask mismatch", i)
+		}
+	}
+	for i, s := range m.sk {
+		mg, ok := s.(Mergeable)
+		if !ok {
+			return fmt.Errorf("anet: sketch %d does not merge", i)
+		}
+		if err := mg.MergeEstimator(o.sk[i]); err != nil {
+			return fmt.Errorf("anet: sketch %d: %w", i, err)
+		}
+	}
+	m.rows += o.rows
+	return nil
+}
+
+func (m *MetaSummary) indexOf(mask uint64) int {
+	i := sort.Search(len(m.masks), func(i int) bool { return m.masks[i] >= mask })
+	if i < len(m.masks) && m.masks[i] == mask {
+		return i
+	}
+	return -1
+}
+
+// SizeBytes returns the total serialized size of all member sketches:
+// the space Theorem 6.5 accounts.
+func (m *MetaSummary) SizeBytes() int {
+	total := 0
+	for _, s := range m.sk {
+		total += s.SizeBytes()
+	}
+	return total
+}
+
+// MarshalSketches serializes every member sketch (in mask order) when
+// the sketches implement encoding.BinaryMarshaler; the communication
+// experiments use this as Alice's message body.
+func (m *MetaSummary) MarshalSketches() ([]byte, error) {
+	var out []byte
+	for i, s := range m.sk {
+		bm, ok := s.(encoding.BinaryMarshaler)
+		if !ok {
+			return nil, fmt.Errorf("anet: sketch %d does not serialize", i)
+		}
+		b, err := bm.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		var hdr [4]byte
+		hdr[0] = byte(len(b))
+		hdr[1] = byte(len(b) >> 8)
+		hdr[2] = byte(len(b) >> 16)
+		hdr[3] = byte(len(b) >> 24)
+		out = append(out, hdr[:]...)
+		out = append(out, b...)
+	}
+	return out, nil
+}
+
+// UnmarshalSketches restores member sketch state from a
+// MarshalSketches message. The receiver must have been built with the
+// same net and a factory producing sketches that implement
+// encoding.BinaryUnmarshaler; this is Bob's decoding step in the
+// communication experiments.
+func (m *MetaSummary) UnmarshalSketches(data []byte) error {
+	off := 0
+	for i, s := range m.sk {
+		bu, ok := s.(encoding.BinaryUnmarshaler)
+		if !ok {
+			return fmt.Errorf("anet: sketch %d does not deserialize", i)
+		}
+		if off+4 > len(data) {
+			return fmt.Errorf("anet: truncated sketch message at sketch %d", i)
+		}
+		n := int(data[off]) | int(data[off+1])<<8 | int(data[off+2])<<16 | int(data[off+3])<<24
+		off += 4
+		if n < 0 || off+n > len(data) {
+			return fmt.Errorf("anet: truncated sketch body at sketch %d", i)
+		}
+		if err := bu.UnmarshalBinary(data[off : off+n]); err != nil {
+			return fmt.Errorf("anet: sketch %d: %w", i, err)
+		}
+		off += n
+	}
+	if off != len(data) {
+		return fmt.Errorf("anet: %d trailing bytes in sketch message", len(data)-off)
+	}
+	return nil
+}

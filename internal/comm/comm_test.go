@@ -1,0 +1,128 @@
+package comm
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+// smallInstanceParams keeps protocol tests fast: d=10, k=2, Q=24
+// gives separation Δ = 12 with 576-row stars — large enough that the
+// exact message dominates the α-net's sketch block.
+const (
+	tD, tK, tQ, tT = 10, 2, 24, 5
+)
+
+func TestExactProtocolSolvesIndex(t *testing.T) {
+	res, err := RunIndexTrials(Exact{}, tD, tK, tQ, tT, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SuccessRate() != 1 {
+		t.Fatalf("exact protocol success %v, want 1", res.SuccessRate())
+	}
+	if res.MessageBytes == 0 {
+		t.Fatal("message size must be recorded")
+	}
+}
+
+func TestNetProtocolMemberQuerySucceeds(t *testing.T) {
+	// alpha = 0.25 on d = 10: low = floor(5-2.5) = 2, so Bob's size-2
+	// query is a net member — answered without distortion.
+	p := Net{Alpha: 0.25, Epsilon: 0.2, Seed: 3}
+	res, err := RunIndexTrials(p, tD, tK, tQ, tT, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SuccessRate() != 1 {
+		t.Fatalf("net member-query success %v, want 1", res.SuccessRate())
+	}
+}
+
+func TestNetProtocolOverRoundingFails(t *testing.T) {
+	// alpha = 0.45: low = 0, high = 10; the size-2 query rounds to the
+	// empty set whose F0 is 1 — both cases look identical, so success
+	// collapses to coin flipping.
+	p := Net{Alpha: 0.45, Epsilon: 0.2, Seed: 5}
+	res, err := RunIndexTrials(p, tD, tK, tQ, tT, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SuccessRate() > 0.75 {
+		t.Fatalf("over-rounded net protocol should fail, success %v", res.SuccessRate())
+	}
+}
+
+func TestSampledProtocolFails(t *testing.T) {
+	res, err := RunIndexTrials(Sampled{T: 32, Seed: 7}, tD, tK, tQ, tT, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SuccessRate() > 0.75 {
+		t.Fatalf("sampling protocol should fail at F0, success %v", res.SuccessRate())
+	}
+}
+
+func TestMessageSizeOrdering(t *testing.T) {
+	// Exact >> net(small alpha) > net(large alpha); sample is tiny.
+	sizes := map[string]int{}
+	for _, p := range []Protocol{
+		Exact{},
+		Net{Alpha: 0.25, Epsilon: 0.2, Seed: 9},
+		Net{Alpha: 0.45, Epsilon: 0.2, Seed: 9},
+		Sampled{T: 32, Seed: 9},
+	} {
+		res, err := RunIndexTrials(p, tD, tK, tQ, tT, 2, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes[p.Name()] = res.MessageBytes
+	}
+	if !(sizes["exact-rows"] > sizes["net(alpha=0.25)"] &&
+		sizes["net(alpha=0.25)"] > sizes["net(alpha=0.45)"] &&
+		sizes["net(alpha=0.45)"] > 0) {
+		t.Fatalf("size ordering violated: %v", sizes)
+	}
+}
+
+func TestDecideRejectsMalformedMessages(t *testing.T) {
+	src := rng.New(11)
+	inst, err := workload.NewF0Instance(tD, tK, tQ, tT, true, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (Exact{}).Decide([]byte{1, 2}, inst); err == nil {
+		t.Fatal("short exact message must error")
+	}
+	if _, err := (Sampled{T: 4, Seed: 1}).Decide([]byte{1}, inst); err == nil {
+		t.Fatal("short sample message must error")
+	}
+	if _, err := (Net{Alpha: 0.25, Seed: 1}).Decide([]byte{9, 9, 9}, inst); err == nil {
+		t.Fatal("garbage net message must error")
+	}
+}
+
+func TestEncodeDecodeConsistency(t *testing.T) {
+	// A single instance encoded then decided twice gives the same
+	// answer (protocols are deterministic).
+	src := rng.New(13)
+	inst, err := workload.NewF0Instance(tD, tK, tQ, tT, true, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Net{Alpha: 0.25, Epsilon: 0.2, Seed: 15}
+	stream, _ := inst.Source()
+	msg, err := p.Encode(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err1 := p.Decide(msg, inst)
+	b, err2 := p.Decide(msg, inst)
+	if err1 != nil || err2 != nil || a != b {
+		t.Fatalf("nondeterministic decide: %v %v (%v %v)", a, b, err1, err2)
+	}
+	if !a {
+		t.Fatal("planted instance must decide true at alpha=0.25")
+	}
+}

@@ -1,0 +1,20 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errEmptyData = errors.New("core: no rows observed")
+
+func errNegativeP(p float64) error {
+	return fmt.Errorf("core: moment order p=%v must be non-negative", p)
+}
+
+func errNonPositiveP(p float64) error {
+	return fmt.Errorf("core: norm order p=%v must be positive", p)
+}
+
+func errBadPhi(phi float64) error {
+	return fmt.Errorf("core: phi=%v outside (0, 1]", phi)
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/freq"
+	"repro/internal/rng"
+	"repro/internal/words"
+)
+
+// Exact is the naïve baseline of Section 3.1: it retains the entire
+// input in Θ(nd) space and answers every query class exactly. It is
+// both a usable summary (for small data) and the ground truth the
+// experiment drivers validate approximate summaries against.
+type Exact struct {
+	table *words.Table
+}
+
+// NewExact returns an exact summary for d columns over alphabet [q].
+func NewExact(d, q int) *Exact {
+	return &Exact{table: words.NewTable(d, q)}
+}
+
+// Observe appends a copy of the row.
+func (e *Exact) Observe(w words.Word) { e.table.Append(w) }
+
+// Dim returns d.
+func (e *Exact) Dim() int { return e.table.Dim() }
+
+// Alphabet returns Q.
+func (e *Exact) Alphabet() int { return e.table.Alphabet() }
+
+// Rows returns n.
+func (e *Exact) Rows() int64 { return int64(e.table.NumRows()) }
+
+// SizeBytes returns the Θ(nd) storage cost.
+func (e *Exact) SizeBytes() int { return e.table.SizeBytes() }
+
+// Name identifies the summary.
+func (e *Exact) Name() string { return "exact" }
+
+// Table exposes the retained rows for experiment drivers.
+func (e *Exact) Table() *words.Table { return e.table }
+
+// Vector materializes the exact frequency vector f(A, C).
+func (e *Exact) Vector(c words.ColumnSet) *freq.Vector {
+	return freq.FromTable(e.table, c)
+}
+
+// F0 returns the exact number of distinct projected patterns.
+func (e *Exact) F0(c words.ColumnSet) (float64, error) {
+	if err := validateQuery(e, c); err != nil {
+		return 0, err
+	}
+	return float64(e.Vector(c).Support()), nil
+}
+
+// Fp returns the exact moment F_p(A, C).
+func (e *Exact) Fp(c words.ColumnSet, p float64) (float64, error) {
+	if err := validateQuery(e, c); err != nil {
+		return 0, err
+	}
+	if p < 0 {
+		return 0, errNegativeP(p)
+	}
+	return e.Vector(c).F(p), nil
+}
+
+// Frequency returns the exact frequency of pattern b on projection C.
+func (e *Exact) Frequency(c words.ColumnSet, b words.Word) (float64, error) {
+	if err := validateQuery(e, c); err != nil {
+		return 0, err
+	}
+	if err := validatePattern(c, b, e.Alphabet()); err != nil {
+		return 0, err
+	}
+	return float64(e.Vector(c).CountWord(b)), nil
+}
+
+// HeavyHitters returns the exact φ-ℓp heavy hitters.
+func (e *Exact) HeavyHitters(c words.ColumnSet, p, phi float64) ([]HeavyHitter, error) {
+	if err := validateQuery(e, c); err != nil {
+		return nil, err
+	}
+	if p <= 0 {
+		return nil, errNonPositiveP(p)
+	}
+	hits := e.Vector(c).HeavyHitters(p, phi)
+	out := make([]HeavyHitter, len(hits))
+	for i, h := range hits {
+		out[i] = HeavyHitter{Pattern: h.Word, Estimate: float64(h.Count)}
+	}
+	return out, nil
+}
+
+// SampleLp draws a projected pattern with probability exactly
+// f_i^p / F_p. With Θ(nd) space the exact sampler is realizable; for
+// p ≠ 1 Theorem 5.5 shows this cannot be compressed.
+func (e *Exact) SampleLp(c words.ColumnSet, p float64, r *rng.Source) (LpSample, error) {
+	if err := validateQuery(e, c); err != nil {
+		return LpSample{}, err
+	}
+	if p < 0 || math.IsNaN(p) {
+		return LpSample{}, errNegativeP(p)
+	}
+	v := e.Vector(c)
+	if v.Total() == 0 {
+		return LpSample{}, errEmptyData
+	}
+	s := v.NewSampler(p)
+	key := s.Sample(r)
+	return LpSample{
+		Pattern:     words.KeyToWord(key),
+		Probability: s.Probability(key),
+	}, nil
+}

@@ -1,0 +1,331 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/anet"
+	"repro/internal/rng"
+	"repro/internal/sketch"
+	"repro/internal/words"
+)
+
+// F0SketchKind selects the (1±ε) distinct-count sketch Algorithm 1
+// instantiates for F0 — the ablation axis of DESIGN.md §5.
+type F0SketchKind int
+
+// The supported F0 sketches.
+const (
+	F0KMV F0SketchKind = iota
+	F0HLL
+	F0BJKST
+)
+
+// String names the sketch kind.
+func (k F0SketchKind) String() string {
+	switch k {
+	case F0KMV:
+		return "kmv"
+	case F0HLL:
+		return "hll"
+	case F0BJKST:
+		return "bjkst"
+	default:
+		return fmt.Sprintf("F0SketchKind(%d)", int(k))
+	}
+}
+
+// NetConfig configures the Net summary.
+type NetConfig struct {
+	// Alpha is the net parameter α ∈ (0, 1/2) trading space for
+	// approximation (Figure 1).
+	Alpha float64
+	// Epsilon is the per-sketch accuracy β = 1+ε.
+	Epsilon float64
+	// F0Sketch selects the distinct-count sketch (default KMV).
+	F0Sketch F0SketchKind
+	// Moments lists the orders p (0 < p ≤ 2, p ≠ 0) for which F_p
+	// sketches are maintained in addition to F0. Each moment adds one
+	// p-stable sketch per net member.
+	Moments []float64
+	// StableReps overrides the p-stable repetition count (default
+	// sized from Epsilon).
+	StableReps int
+	// Seed drives all sketch randomness.
+	Seed uint64
+}
+
+// Net is Algorithm 1 (Theorem 6.5) as a summary: one MetaSummary for
+// F0 and one per requested moment order, all sharing the same α-net.
+type Net struct {
+	d, q int
+	cfg  NetConfig
+	net  *anet.Net
+	f0   *anet.MetaSummary
+	fp   map[float64]*anet.MetaSummary
+	rows int64
+}
+
+// NewNet builds the summary; d must be ≤ 30 (net enumeration), and in
+// practice experiments use d ≤ 16.
+func NewNet(d, q int, cfg NetConfig) (*Net, error) {
+	if cfg.Epsilon == 0 {
+		cfg.Epsilon = 0.1
+	}
+	if cfg.Epsilon <= 0 || cfg.Epsilon >= 1 {
+		return nil, fmt.Errorf("core: net epsilon %v outside (0,1)", cfg.Epsilon)
+	}
+	n, err := anet.NewNet(d, cfg.Alpha)
+	if err != nil {
+		return nil, err
+	}
+	master := rng.New(cfg.Seed)
+	f0seed := master.Uint64()
+	f0, err := anet.NewMetaSummary(n, func(id uint64) anet.Estimator {
+		seed := f0seed ^ rng.Mix64(id)
+		switch cfg.F0Sketch {
+		case F0HLL:
+			return hllEstimator{sketch.HLLForEpsilon(cfg.Epsilon, seed)}
+		case F0BJKST:
+			return bjkstEstimator{sketch.BJKSTForEpsilon(cfg.Epsilon, seed)}
+		default:
+			return kmvEstimator{sketch.KMVForEpsilon(cfg.Epsilon, seed)}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Net{d: d, q: q, cfg: cfg, net: n, f0: f0, fp: make(map[float64]*anet.MetaSummary)}
+	for _, p := range cfg.Moments {
+		if p <= 0 || p > 2 {
+			return nil, fmt.Errorf("core: net moment order %v outside (0,2]", p)
+		}
+		if _, dup := s.fp[p]; dup {
+			continue
+		}
+		pseed := master.Uint64()
+		reps := cfg.StableReps
+		if reps == 0 {
+			reps = int(6/(cfg.Epsilon*cfg.Epsilon)) + 3
+		}
+		p := p
+		meta, err := anet.NewMetaSummary(n, func(id uint64) anet.Estimator {
+			return &stableAdapter{sk: sketch.NewStable(p, reps, pseed^rng.Mix64(id))}
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.fp[p] = meta
+	}
+	return s, nil
+}
+
+// stableAdapter exposes a p-stable moment sketch through the
+// anet.Estimator interface.
+type stableAdapter struct {
+	sk *sketch.Stable
+}
+
+func (a *stableAdapter) Add(item uint64)   { a.sk.Add(item) }
+func (a *stableAdapter) Estimate() float64 { return a.sk.EstimateMoment() }
+func (a *stableAdapter) SizeBytes() int    { return a.sk.SizeBytes() }
+
+// MergeEstimator implements anet.Mergeable.
+func (a *stableAdapter) MergeEstimator(o anet.Estimator) error {
+	other, ok := o.(*stableAdapter)
+	if !ok {
+		return fmt.Errorf("core: cannot merge stable sketch with %T", o)
+	}
+	return a.sk.Merge(other.sk)
+}
+
+// The F0 sketch wrappers add anet.Mergeable dispatch on top of the
+// typed Merge each sketch already provides; they also forward binary
+// (de)serialization so the communication harness keeps working.
+type kmvEstimator struct{ *sketch.KMV }
+
+// MergeEstimator implements anet.Mergeable.
+func (k kmvEstimator) MergeEstimator(o anet.Estimator) error {
+	other, ok := o.(kmvEstimator)
+	if !ok {
+		return fmt.Errorf("core: cannot merge KMV with %T", o)
+	}
+	return k.KMV.Merge(other.KMV)
+}
+
+type hllEstimator struct{ *sketch.HLL }
+
+// MergeEstimator implements anet.Mergeable.
+func (h hllEstimator) MergeEstimator(o anet.Estimator) error {
+	other, ok := o.(hllEstimator)
+	if !ok {
+		return fmt.Errorf("core: cannot merge HLL with %T", o)
+	}
+	return h.HLL.Merge(other.HLL)
+}
+
+type bjkstEstimator struct{ *sketch.BJKST }
+
+// MergeEstimator implements anet.Mergeable.
+func (b bjkstEstimator) MergeEstimator(o anet.Estimator) error {
+	other, ok := o.(bjkstEstimator)
+	if !ok {
+		return fmt.Errorf("core: cannot merge BJKST with %T", o)
+	}
+	return b.BJKST.Merge(other.BJKST)
+}
+
+// Observe feeds one row into every maintained meta-summary.
+func (s *Net) Observe(w words.Word) {
+	s.rows++
+	s.f0.Observe(w)
+	for _, m := range s.fp {
+		m.Observe(w)
+	}
+}
+
+// Dim returns d.
+func (s *Net) Dim() int { return s.d }
+
+// Alphabet returns Q.
+func (s *Net) Alphabet() int { return s.q }
+
+// Rows returns n.
+func (s *Net) Rows() int64 { return s.rows }
+
+// SizeBytes totals all member sketches across all problems.
+func (s *Net) SizeBytes() int {
+	total := s.f0.SizeBytes()
+	for _, m := range s.fp {
+		total += m.SizeBytes()
+	}
+	return total
+}
+
+// Name identifies the summary.
+func (s *Net) Name() string {
+	return fmt.Sprintf("net(alpha=%.3f,%s)", s.cfg.Alpha, s.cfg.F0Sketch)
+}
+
+// NumSketches returns the member count per problem (|N|).
+func (s *Net) NumSketches() int { return s.f0.NumSketches() }
+
+// ANet exposes the underlying α-net for reporting.
+func (s *Net) ANet() *anet.Net { return s.net }
+
+// F0 answers the projected distinct count through the α-neighbour.
+// The returned estimate is within β·2^{dist} of the truth (Lemma 6.4
+// item 1 with the sketch's β), where dist ≤ ⌈αd⌉.
+func (s *Net) F0(c words.ColumnSet) (float64, error) {
+	if err := validateQuery(s, c); err != nil {
+		return 0, err
+	}
+	ans, err := s.f0.Query(c, 0)
+	if err != nil {
+		return 0, err
+	}
+	return ans.Estimate, nil
+}
+
+// F0Answer returns the full neighbour/distortion detail for F0, used
+// by the experiment drivers. The Distortion field is alphabet-aware:
+// q^{dist} rather than the binary 2^{dist} (see anet.DistortionQ).
+func (s *Net) F0Answer(c words.ColumnSet) (anet.Answer, error) {
+	if err := validateQuery(s, c); err != nil {
+		return anet.Answer{}, err
+	}
+	ans, err := s.f0.Query(c, 0)
+	if err != nil {
+		return anet.Answer{}, err
+	}
+	ans.Distortion = anet.DistortionQ(0, ans.Distance, s.q)
+	return ans, nil
+}
+
+// Fp answers a projected moment query for a configured order p; F1 is
+// answered exactly as Rows() per Section 5.3.
+func (s *Net) Fp(c words.ColumnSet, p float64) (float64, error) {
+	if err := validateQuery(s, c); err != nil {
+		return 0, err
+	}
+	if p == 1 {
+		return float64(s.rows), nil
+	}
+	if p == 0 {
+		return s.F0(c)
+	}
+	m, ok := s.fp[p]
+	if !ok {
+		return 0, fmt.Errorf("%w: moment p=%v not configured (have %v)", ErrUnsupported, p, s.cfg.Moments)
+	}
+	ans, err := m.Query(c, p)
+	if err != nil {
+		return 0, err
+	}
+	return ans.Estimate, nil
+}
+
+// FpAnswer returns full detail for a moment query; its Distortion
+// field is alphabet-aware like F0Answer's.
+func (s *Net) FpAnswer(c words.ColumnSet, p float64) (anet.Answer, error) {
+	if err := validateQuery(s, c); err != nil {
+		return anet.Answer{}, err
+	}
+	m, ok := s.fp[p]
+	if !ok {
+		return anet.Answer{}, fmt.Errorf("%w: moment p=%v not configured", ErrUnsupported, p)
+	}
+	ans, err := m.Query(c, p)
+	if err != nil {
+		return anet.Answer{}, err
+	}
+	ans.Distortion = anet.DistortionQ(p, ans.Distance, s.q)
+	return ans, nil
+}
+
+// MarshalF0Sketches serializes the F0 member sketches (Alice's
+// message in the E9 communication experiment).
+func (s *Net) MarshalF0Sketches() ([]byte, error) {
+	return s.f0.MarshalSketches()
+}
+
+// Merge folds another Net summary into s, enabling shard-and-merge
+// ingestion of partitioned streams: both summaries must have been
+// built with identical (d, q, config) — in particular the same Seed,
+// so member sketches share hash functions.
+func (s *Net) Merge(o *Net) error {
+	if o.d != s.d || o.q != s.q {
+		return fmt.Errorf("core: merging nets of different shape (%d/%d vs %d/%d)", s.d, s.q, o.d, o.q)
+	}
+	if s.cfg.Alpha != o.cfg.Alpha || s.cfg.Epsilon != o.cfg.Epsilon ||
+		s.cfg.F0Sketch != o.cfg.F0Sketch || s.cfg.Seed != o.cfg.Seed {
+		return fmt.Errorf("core: merging nets with different configs")
+	}
+	if err := s.f0.Merge(o.f0); err != nil {
+		return err
+	}
+	for p, m := range s.fp {
+		om, ok := o.fp[p]
+		if !ok {
+			return fmt.Errorf("core: peer lacks moment p=%v", p)
+		}
+		if err := m.Merge(om); err != nil {
+			return err
+		}
+	}
+	s.rows += o.rows
+	return nil
+}
+
+// F0AnswerMode is F0Answer with an explicit neighbour rounding mode,
+// used by the E10 ablation.
+func (s *Net) F0AnswerMode(c words.ColumnSet, mode anet.RoundingMode) (anet.Answer, error) {
+	if err := validateQuery(s, c); err != nil {
+		return anet.Answer{}, err
+	}
+	ans, err := s.f0.QueryMode(c, 0, mode)
+	if err != nil {
+		return anet.Answer{}, err
+	}
+	ans.Distortion = anet.DistortionQ(0, ans.Distance, s.q)
+	return ans, nil
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/freq"
+	"repro/internal/words"
+)
+
+func registeredFixture(t *testing.T) (*Registered, *words.Table, []words.ColumnSet) {
+	t.Helper()
+	subsets := []words.ColumnSet{
+		words.MustColumnSet(10, 0, 1),
+		words.MustColumnSet(10, 2, 3, 4),
+		words.MustColumnSet(10, 0, 1), // duplicate, must collapse
+		words.MustColumnSet(10, 5, 6, 7, 8),
+	}
+	s, err := NewRegistered(10, 2, subsets, RegisteredConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := testData(4000, 21)
+	feed(s, tb)
+	return s, tb, subsets
+}
+
+func TestRegisteredF0Accuracy(t *testing.T) {
+	s, tb, subsets := registeredFixture(t)
+	if s.NumSubsets() != 3 {
+		t.Fatalf("duplicates must collapse: %d", s.NumSubsets())
+	}
+	for _, c := range subsets {
+		got, err := s.F0(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := float64(freq.FromTable(tb, c).Support())
+		if math.Abs(got-truth)/truth > 0.1 {
+			t.Fatalf("F0(%v) = %v, truth %v", c, got, truth)
+		}
+	}
+}
+
+func TestRegisteredRejectsUnknownSubset(t *testing.T) {
+	s, _, _ := registeredFixture(t)
+	if _, err := s.F0(words.MustColumnSet(10, 0, 2)); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("unregistered subset: %v", err)
+	}
+	if _, err := s.F0(words.MustColumnSet(9, 0)); err == nil {
+		t.Fatal("dimension mismatch must error")
+	}
+}
+
+func TestRegisteredUniqueness(t *testing.T) {
+	// Build a table where the projection onto {0} has 2 patterns
+	// shared by thousands of rows (never unique), and onto
+	// {0..9} almost every row is distinct (highly unique).
+	subsets := []words.ColumnSet{
+		words.MustColumnSet(10, 0),
+		words.FullColumnSet(10),
+	}
+	s, err := NewRegistered(10, 2, subsets, RegisteredConfig{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := testData(4000, 23)
+	feed(s, tb)
+
+	low, err := s.Uniqueness(subsets[0], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low > 0.2 {
+		t.Fatalf("single binary column cannot be identifying: %v", low)
+	}
+	high, err := s.Uniqueness(subsets[1], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare against the exact fraction of patterns with count <= 2.
+	v := freq.FromTable(tb, subsets[1])
+	rare := 0
+	for _, e := range v.Entries() {
+		if e.Count <= 2 {
+			rare++
+		}
+	}
+	truth := float64(rare) / float64(v.Support())
+	if math.Abs(high-truth) > 0.1 {
+		t.Fatalf("uniqueness %v, exact %v", high, truth)
+	}
+	if high <= low {
+		t.Fatalf("full projection must be more identifying than one column: %v vs %v", high, low)
+	}
+	if _, err := s.Uniqueness(subsets[0], 0); err == nil {
+		t.Fatal("maxRows < 1 must error")
+	}
+}
+
+func TestRegisteredValidation(t *testing.T) {
+	if _, err := NewRegistered(8, 2, nil, RegisteredConfig{}); err == nil {
+		t.Fatal("empty registration must error")
+	}
+	if _, err := NewRegistered(8, 2, []words.ColumnSet{words.MustColumnSet(9, 0)}, RegisteredConfig{}); err == nil {
+		t.Fatal("dimension mismatch must error")
+	}
+	if _, err := NewRegistered(8, 2, []words.ColumnSet{words.MustColumnSet(8)}, RegisteredConfig{}); err == nil {
+		t.Fatal("empty subset must error")
+	}
+	if _, err := NewRegistered(8, 2, []words.ColumnSet{words.MustColumnSet(8, 0)}, RegisteredConfig{Epsilon: 3}); err == nil {
+		t.Fatal("bad epsilon must error")
+	}
+}
+
+func TestNetMergeEqualsWholeStream(t *testing.T) {
+	tb := testData(2000, 25)
+	cfg := NetConfig{Alpha: 0.3, Epsilon: 0.2, Seed: 9}
+	mk := func() *Net {
+		s, err := NewNet(10, 2, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	whole, a, b := mk(), mk(), mk()
+	src := tb.Source()
+	i := 0
+	for {
+		w, ok := src.Next()
+		if !ok {
+			break
+		}
+		whole.Observe(w)
+		if i%2 == 0 {
+			a.Observe(w)
+		} else {
+			b.Observe(w)
+		}
+		i++
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Rows() != whole.Rows() {
+		t.Fatalf("merged rows %d != %d", a.Rows(), whole.Rows())
+	}
+	for _, cols := range [][]int{{0, 1}, {0, 1, 2, 3, 4}, {5, 6, 7}} {
+		c := words.MustColumnSet(10, cols...)
+		ma, err1 := a.F0(c)
+		mw, err2 := whole.F0(c)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		// KMV merge is exactly the union of retained minima.
+		if ma != mw {
+			t.Fatalf("merged F0 %v != whole-stream F0 %v on %v", ma, mw, cols)
+		}
+	}
+}
+
+func TestNetMergeValidation(t *testing.T) {
+	a, _ := NewNet(10, 2, NetConfig{Alpha: 0.3, Seed: 1})
+	b, _ := NewNet(10, 2, NetConfig{Alpha: 0.3, Seed: 2})
+	if err := a.Merge(b); err == nil {
+		t.Fatal("different seeds must refuse to merge")
+	}
+	c, _ := NewNet(10, 2, NetConfig{Alpha: 0.25, Seed: 1})
+	if err := a.Merge(c); err == nil {
+		t.Fatal("different alpha must refuse to merge")
+	}
+	d, _ := NewNet(11, 2, NetConfig{Alpha: 0.3, Seed: 1})
+	if err := a.Merge(d); err == nil {
+		t.Fatal("different dimension must refuse to merge")
+	}
+}
+
+func TestNetMergeHLLAndBJKST(t *testing.T) {
+	for _, kind := range []F0SketchKind{F0HLL, F0BJKST} {
+		cfg := NetConfig{Alpha: 0.3, Epsilon: 0.25, F0Sketch: kind, Seed: 31}
+		a, err := NewNet(10, 2, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewNet(10, 2, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb := testData(600, 27)
+		feed(a, tb)
+		feed(b, tb)
+		if err := a.Merge(b); err != nil {
+			t.Fatalf("%v merge: %v", kind, err)
+		}
+	}
+}

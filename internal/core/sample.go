@@ -1,0 +1,244 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/rng"
+	"repro/internal/sample"
+	"repro/internal/words"
+)
+
+// Sample is the uniform-row-sampling summary of Theorem 5.1 and
+// Corollary 5.2: t with-replacement uniform row samples (or a
+// t-element reservoir, an ablation option) kept while streaming,
+// independent of any future query C.
+//
+// Guarantees (from the paper):
+//   - Frequency: additive error ε‖f‖₁ ≤ ε‖f‖_p for 0 < p ≤ 1 with
+//     t = O(ε⁻² log 1/δ) (Theorem 5.1, Corollary 5.2).
+//   - HeavyHitters: report f̂ ≥ φ‖f‖_p estimates for 0 < p ≤ 1
+//     (Section 5.1's discussion).
+//   - SampleLp: exact for p = 1 (a uniform row *is* an ℓ1 pattern
+//     draw); for p ≠ 1 the importance-reweighted draw comes with no
+//     guarantee — Theorem 5.5 proves none is possible — and the
+//     experiment suite demonstrates its failure on the adversarial
+//     instances.
+//
+// F0/Fp queries are unsupported: Section 4 proves 2^Ω(d) space is
+// needed, and a uniform sample cannot certify distinctness.
+type Sample struct {
+	d, q      int
+	reservoir bool
+	wr        *sample.WithReplacement
+	rs        *sample.Reservoir
+}
+
+// SampleOption configures the Sample summary.
+type SampleOption func(*Sample)
+
+// WithReservoir switches from t independent with-replacement slots to
+// a single without-replacement reservoir of size t.
+func WithReservoir() SampleOption {
+	return func(s *Sample) { s.reservoir = true }
+}
+
+// NewSample returns a sampling summary of size t.
+func NewSample(d, q, t int, seed uint64, opts ...SampleOption) *Sample {
+	s := &Sample{d: d, q: q}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.reservoir {
+		s.rs = sample.NewReservoir(t, seed)
+	} else {
+		s.wr = sample.NewWithReplacement(t, seed)
+	}
+	return s
+}
+
+// NewSampleForError sizes the summary per Theorem 5.1 for additive
+// error ε‖f‖₁ with probability 1−δ.
+func NewSampleForError(d, q int, eps, delta float64, seed uint64, opts ...SampleOption) *Sample {
+	return NewSample(d, q, sample.SizeForError(eps, delta), seed, opts...)
+}
+
+// Observe feeds one row.
+func (s *Sample) Observe(w words.Word) {
+	if s.reservoir {
+		s.rs.Observe(w)
+	} else {
+		s.wr.Observe(w)
+	}
+}
+
+// Dim returns d.
+func (s *Sample) Dim() int { return s.d }
+
+// Alphabet returns Q.
+func (s *Sample) Alphabet() int { return s.q }
+
+// Rows returns n.
+func (s *Sample) Rows() int64 {
+	if s.reservoir {
+		return s.rs.Seen()
+	}
+	return s.wr.Seen()
+}
+
+// SampleSize returns t.
+func (s *Sample) SampleSize() int {
+	if s.reservoir {
+		return len(s.rs.Rows())
+	}
+	return s.wr.Size()
+}
+
+// SizeBytes counts the stored rows plus counters.
+func (s *Sample) SizeBytes() int {
+	rows := s.rows()
+	n := 16
+	for _, r := range rows {
+		n += 2 * len(r)
+	}
+	return n
+}
+
+// Name identifies the summary.
+func (s *Sample) Name() string {
+	if s.reservoir {
+		return "sample-reservoir"
+	}
+	return "sample-wr"
+}
+
+func (s *Sample) rows() []words.Word {
+	if s.reservoir {
+		return s.rs.Rows()
+	}
+	return s.wr.Rows()
+}
+
+// Frequency returns the scaled sample estimate of f_{e(b)}(A, C), the
+// estimator f̂ = g/α of Theorem 5.1.
+func (s *Sample) Frequency(c words.ColumnSet, b words.Word) (float64, error) {
+	if err := validateQuery(s, c); err != nil {
+		return 0, err
+	}
+	if err := validatePattern(c, b, s.q); err != nil {
+		return 0, err
+	}
+	if s.reservoir {
+		return s.rs.EstimateFrequency(c, b), nil
+	}
+	return s.wr.EstimateFrequency(c, b), nil
+}
+
+// projectedCounts builds pattern → sample count for projection c.
+func (s *Sample) projectedCounts(c words.ColumnSet) (map[string]int, int) {
+	rows := s.rows()
+	counts := make(map[string]int)
+	var key []byte
+	kept := 0
+	for _, r := range rows {
+		if r == nil {
+			continue
+		}
+		kept++
+		key = words.AppendKey(key[:0], r, c)
+		counts[string(key)]++
+	}
+	return counts, kept
+}
+
+// HeavyHitters estimates the φ-ℓp heavy hitters from the sample: each
+// sampled pattern's frequency is estimated via the Theorem 5.1
+// estimator and compared against φ·(Σ f̂^p)^{1/p}. The paper
+// guarantees this for 0 < p ≤ 1; for p > 1 the query still answers
+// but Theorem 5.3's instances defeat it (demonstrated in E4).
+func (s *Sample) HeavyHitters(c words.ColumnSet, p, phi float64) ([]HeavyHitter, error) {
+	if err := validateQuery(s, c); err != nil {
+		return nil, err
+	}
+	if p <= 0 {
+		return nil, errNonPositiveP(p)
+	}
+	if phi <= 0 || phi > 1 {
+		return nil, errBadPhi(phi)
+	}
+	counts, kept := s.projectedCounts(c)
+	if kept == 0 {
+		return nil, nil
+	}
+	scale := float64(s.Rows()) / float64(kept)
+	// Estimate ‖f‖_p from the sample-estimated frequencies of the
+	// sampled patterns. For p ≤ 1, ‖f‖_p ≥ ‖f‖₁ = n makes the
+	// threshold conservative-correct; the estimate refines it.
+	var fp float64
+	for _, g := range counts {
+		fp += math.Pow(float64(g)*scale, p)
+	}
+	norm := math.Pow(fp, 1/p)
+	if p <= 1 {
+		// ‖f‖_p ≥ n for p ≤ 1: clamp up so no light item sneaks in.
+		if n := float64(s.Rows()); norm < n {
+			norm = n
+		}
+	}
+	thresh := phi * norm
+	var out []HeavyHitter
+	for key, g := range counts {
+		est := float64(g) * scale
+		if est >= thresh {
+			out = append(out, HeavyHitter{Pattern: words.KeyToWord(key), Estimate: est})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Estimate != out[j].Estimate {
+			return out[i].Estimate > out[j].Estimate
+		}
+		return out[i].Pattern.String() < out[j].Pattern.String()
+	})
+	return out, nil
+}
+
+// SampleLp draws a pattern approximately from the ℓp distribution.
+// p = 1 is a uniform row draw, which is exact (up to the sample being
+// uniform). For p ≠ 1 the draw reweights sampled patterns by
+// ĝ^p — a heuristic with no guarantee, per Theorem 5.5.
+func (s *Sample) SampleLp(c words.ColumnSet, p float64, r *rng.Source) (LpSample, error) {
+	if err := validateQuery(s, c); err != nil {
+		return LpSample{}, err
+	}
+	if p < 0 {
+		return LpSample{}, errNegativeP(p)
+	}
+	counts, kept := s.projectedCounts(c)
+	if kept == 0 {
+		return LpSample{}, errEmptyData
+	}
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	weights := make([]float64, len(keys))
+	total := 0.0
+	for i, k := range keys {
+		w := math.Pow(float64(counts[k]), p)
+		weights[i] = w
+		total += w
+	}
+	u := r.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if u < acc || i == len(keys)-1 {
+			return LpSample{
+				Pattern:     words.KeyToWord(keys[i]),
+				Probability: w / total,
+			}, nil
+		}
+	}
+	return LpSample{}, errEmptyData // unreachable
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/combin"
+	"repro/internal/hashing"
+	"repro/internal/rng"
+	"repro/internal/sketch"
+	"repro/internal/words"
+)
+
+// Subset is the enumeration baseline of Section 3.1: when the query
+// size t = |C| is known in advance, keep one (1±ε) F0 sketch for each
+// of the C(d, t) subsets of [d] with size t. Queries of exactly that
+// size are answered directly (no rounding distortion), at Ω(d^t)
+// space — the cost the paper notes "does not give a major reduction".
+type Subset struct {
+	d, q, t int
+	eps     float64
+	masks   []uint64
+	subsets []words.ColumnSet
+	sk      []*sketch.KMV
+	bufs    []words.Word
+	keyBuf  []byte
+	rows    int64
+}
+
+// NewSubset enumerates all C(d, t) sketches; it refuses shapes whose
+// enumeration exceeds maxSketches to protect callers from accidental
+// combinatorial explosions.
+func NewSubset(d, q, t int, eps float64, seed uint64, maxSketches int) (*Subset, error) {
+	if t < 1 || t > d {
+		return nil, fmt.Errorf("core: subset query size %d outside [1, %d]", t, d)
+	}
+	if eps <= 0 || eps >= 1 {
+		return nil, fmt.Errorf("core: subset epsilon %v outside (0,1)", eps)
+	}
+	count, err := combin.Binomial(d, t)
+	if err != nil {
+		return nil, err
+	}
+	if maxSketches > 0 && count > uint64(maxSketches) {
+		return nil, fmt.Errorf("core: C(%d,%d) = %d exceeds sketch budget %d", d, t, count, maxSketches)
+	}
+	s := &Subset{d: d, q: q, t: t, eps: eps}
+	master := rng.New(seed)
+	combin.Combinations(d, t, func(cols []int) bool {
+		cs := words.MustColumnSet(d, cols...)
+		s.masks = append(s.masks, maskOf(cols))
+		s.subsets = append(s.subsets, cs)
+		s.sk = append(s.sk, sketch.KMVForEpsilon(eps, master.Uint64()))
+		s.bufs = append(s.bufs, make(words.Word, t))
+		return true
+	})
+	// Combinations enumerates in lexicographic order; queries look up
+	// by mask, so keep a mask-sorted view.
+	idx := make([]int, len(s.masks))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return s.masks[idx[a]] < s.masks[idx[b]] })
+	masks := make([]uint64, len(idx))
+	subsets := make([]words.ColumnSet, len(idx))
+	sk := make([]*sketch.KMV, len(idx))
+	bufs := make([]words.Word, len(idx))
+	for i, j := range idx {
+		masks[i], subsets[i], sk[i], bufs[i] = s.masks[j], s.subsets[j], s.sk[j], s.bufs[j]
+	}
+	s.masks, s.subsets, s.sk, s.bufs = masks, subsets, sk, bufs
+	return s, nil
+}
+
+func maskOf(cols []int) uint64 {
+	var m uint64
+	for _, c := range cols {
+		m |= 1 << uint(c)
+	}
+	return m
+}
+
+// Observe feeds one row into every subset sketch.
+func (s *Subset) Observe(w words.Word) {
+	s.rows++
+	for i, cs := range s.subsets {
+		w.ProjectInto(cs, s.bufs[i])
+		s.keyBuf = words.AppendKey(s.keyBuf[:0], s.bufs[i], words.FullColumnSet(s.t))
+		s.sk[i].Add(hashing.Fingerprint64(s.keyBuf))
+	}
+}
+
+// Dim returns d.
+func (s *Subset) Dim() int { return s.d }
+
+// Alphabet returns Q.
+func (s *Subset) Alphabet() int { return s.q }
+
+// Rows returns n.
+func (s *Subset) Rows() int64 { return s.rows }
+
+// QuerySize returns the fixed query size t.
+func (s *Subset) QuerySize() int { return s.t }
+
+// NumSketches returns C(d, t).
+func (s *Subset) NumSketches() int { return len(s.sk) }
+
+// SizeBytes totals the sketch sizes.
+func (s *Subset) SizeBytes() int {
+	total := 0
+	for _, k := range s.sk {
+		total += k.SizeBytes()
+	}
+	return total
+}
+
+// Name identifies the summary.
+func (s *Subset) Name() string { return fmt.Sprintf("subset(t=%d)", s.t) }
+
+// F0 answers a query of exactly size t from its dedicated sketch.
+func (s *Subset) F0(c words.ColumnSet) (float64, error) {
+	if err := validateQuery(s, c); err != nil {
+		return 0, err
+	}
+	if c.Len() != s.t {
+		return 0, fmt.Errorf("%w: subset summary only answers |C| = %d, got %d", ErrUnsupported, s.t, c.Len())
+	}
+	mask := c.Mask()
+	i := sort.Search(len(s.masks), func(i int) bool { return s.masks[i] >= mask })
+	if i >= len(s.masks) || s.masks[i] != mask {
+		return 0, fmt.Errorf("core: subset %v not materialized", c)
+	}
+	return s.sk[i].Estimate(), nil
+}

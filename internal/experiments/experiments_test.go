@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runQuick(t *testing.T, id string) *Report {
+	t.Helper()
+	rep, err := Run(id, Options{Seed: 1, Quick: true})
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if rep.ID != id || len(rep.Tables) == 0 {
+		t.Fatalf("%s: malformed report %+v", id, rep)
+	}
+	for _, tbl := range rep.Tables {
+		if len(tbl.Rows) == 0 {
+			t.Fatalf("%s: empty table %q", id, tbl.Name)
+		}
+		for _, row := range tbl.Rows {
+			if len(row) != len(tbl.Columns) {
+				t.Fatalf("%s: ragged row %v", id, row)
+			}
+		}
+	}
+	return rep
+}
+
+// column returns the values of the named column of a table.
+func column(t *testing.T, tbl *Table, name string) []string {
+	t.Helper()
+	for i, c := range tbl.Columns {
+		if c == name {
+			out := make([]string, len(tbl.Rows))
+			for j, row := range tbl.Rows {
+				out[j] = row[i]
+			}
+			return out
+		}
+	}
+	t.Fatalf("column %q not in %v", name, tbl.Columns)
+	return nil
+}
+
+func allTrue(t *testing.T, tbl *Table, name string) {
+	t.Helper()
+	for i, v := range column(t, tbl, name) {
+		if v != "true" {
+			t.Fatalf("table %q row %d: %s = %q, want true", tbl.Name, i, name, v)
+		}
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"E1", "E10", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("IDs = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IDs = %v, want %v", got, want)
+		}
+	}
+	if _, err := Run("nope", Options{}); err == nil {
+		t.Fatal("unknown id must error")
+	}
+}
+
+func TestE1Table1SeparationHolds(t *testing.T) {
+	rep := runQuick(t, "E1")
+	allTrue(t, rep.Tables[0], "separation >= factor")
+	// All four constructions must be present.
+	labels := column(t, rep.Tables[0], "construction")
+	if len(labels) != 4 {
+		t.Fatalf("constructions: %v", labels)
+	}
+}
+
+func TestE2Figure1Shapes(t *testing.T) {
+	rep := runQuick(t, "E2")
+	// The analytic table sweeps 19 alphas.
+	if len(rep.Tables[0].Rows) != 19 {
+		t.Fatalf("analytic rows: %d", len(rep.Tables[0].Rows))
+	}
+	allTrue(t, rep.Tables[1], "within bound")
+}
+
+func TestE3SamplingBoundHolds(t *testing.T) {
+	rep := runQuick(t, "E3")
+	allTrue(t, rep.Tables[0], "bound holds (>= 1-delta)")
+}
+
+func TestE4SeparationAboveOne(t *testing.T) {
+	rep := runQuick(t, "E4")
+	for _, v := range column(t, rep.Tables[0], "separation") {
+		if !parsePositiveAbove(v, 2) {
+			t.Fatalf("separation %q must exceed 2", v)
+		}
+	}
+}
+
+func TestE5SeparationAboveOne(t *testing.T) {
+	rep := runQuick(t, "E5")
+	for _, tbl := range rep.Tables {
+		for _, v := range column(t, tbl, "separation") {
+			if !parsePositiveAbove(v, 1.5) {
+				t.Fatalf("%s: separation %q must exceed 1.5", tbl.Name, v)
+			}
+		}
+	}
+}
+
+func TestE6SamplingDichotomy(t *testing.T) {
+	rep := runQuick(t, "E6")
+	for _, v := range column(t, rep.Tables[0], "P y not in T") {
+		if v != "0" {
+			t.Fatalf("P[M' | y not in T] = %q, want exactly 0", v)
+		}
+	}
+	for _, v := range column(t, rep.Tables[0], "P y in T") {
+		if !parsePositiveAbove(v, 0.2) {
+			t.Fatalf("P[M' | y in T] = %q, want > 0.2", v)
+		}
+	}
+}
+
+func TestE7DistortionWithinBound(t *testing.T) {
+	rep := runQuick(t, "E7")
+	allTrue(t, rep.Tables[0], "within bound")
+}
+
+func TestE8TradeoffWithinBound(t *testing.T) {
+	rep := runQuick(t, "E8")
+	allTrue(t, rep.Tables[0], "both within")
+}
+
+func TestE9ExactSolvesSampleFails(t *testing.T) {
+	rep := runQuick(t, "E9")
+	protoCol := column(t, rep.Tables[0], "protocol")
+	solves := column(t, rep.Tables[0], "solves Index (>=3/4)")
+	for i, p := range protoCol {
+		switch {
+		case p == "exact-rows" && solves[i] != "true":
+			t.Fatal("exact protocol must solve Index")
+		case strings.HasPrefix(p, "sample") && solves[i] != "false":
+			t.Fatal("sampling protocol must fail Index")
+		}
+	}
+}
+
+func TestE10RoundingDirections(t *testing.T) {
+	rep := runQuick(t, "E10")
+	modes := column(t, rep.Tables[0], "mode")
+	dirs := column(t, rep.Tables[0], "direction")
+	for i, m := range modes {
+		switch m {
+		case "down":
+			if dirs[i] != "under-estimates" {
+				t.Fatalf("down must under-estimate, got %q", dirs[i])
+			}
+		case "up":
+			if dirs[i] != "over-estimates" {
+				t.Fatalf("up must over-estimate, got %q", dirs[i])
+			}
+		}
+	}
+}
+
+func parsePositiveAbove(s string, min float64) bool {
+	var v float64
+	if _, err := sscan(s, &v); err != nil {
+		return false
+	}
+	return v > min
+}
+
+func sscan(s string, v *float64) (int, error) {
+	return fmtSscan(s, v)
+}
+
+func TestTableWriters(t *testing.T) {
+	tbl := &Table{Name: "t", Columns: []string{"a", "b"}}
+	tbl.AddRow(1, "x,y")
+	tbl.AddRow(2.5, `quote"me`)
+	var text, csv bytes.Buffer
+	if err := tbl.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "## t") {
+		t.Fatalf("text output: %q", text.String())
+	}
+	if !strings.Contains(csv.String(), `"x,y"`) || !strings.Contains(csv.String(), `"quote""me"`) {
+		t.Fatalf("csv escaping: %q", csv.String())
+	}
+	rep := &Report{ID: "X", Title: "demo", Tables: []*Table{tbl}, Notes: []string{"n1"}}
+	var full bytes.Buffer
+	if err := rep.WriteText(&full); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(full.String(), "note: n1") {
+		t.Fatal("notes missing from report text")
+	}
+}
+
+func TestDeterministicReports(t *testing.T) {
+	a, err := Run("E1", Options{Seed: 9, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run("E1", Options{Seed: 9, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wa, wb bytes.Buffer
+	_ = a.WriteText(&wa)
+	_ = b.WriteText(&wb)
+	if wa.String() != wb.String() {
+		t.Fatal("equal seeds must reproduce reports byte-for-byte")
+	}
+}

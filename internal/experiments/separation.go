@@ -1,0 +1,242 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/freq"
+	"repro/internal/rng"
+	"repro/internal/words"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("E4", RunHHSeparation)
+	register("E5", RunFpSeparation)
+	register("E6", RunLpSampling)
+}
+
+// hhParams are the Theorem 5.3/5.4/5.5 instance shapes swept by the
+// separation experiments: the gap must grow exponentially in d for
+// fixed ε, γ — that growth is the lower bound's engine.
+func hhParams(quick bool) []workload.HHParams {
+	if quick {
+		return []workload.HHParams{
+			{D: 32, Eps: 0.25, Gamma: 0.05, TSize: 6},
+		}
+	}
+	return []workload.HHParams{
+		{D: 32, Eps: 0.25, Gamma: 0.05, TSize: 8},
+		{D: 40, Eps: 0.25, Gamma: 0.05, TSize: 8},
+		{D: 48, Eps: 0.25, Gamma: 0.05, TSize: 8},
+	}
+}
+
+// RunHHSeparation validates Theorem 5.3: on the coded instance, the
+// all-zeros pattern 0_S is a constant-factor ℓp heavy hitter (p > 1)
+// exactly when Bob's codeword y is in Alice's set T. The driver
+// measures the heaviness ratio f(0_S)/‖f‖_p in both cases and reports
+// the separation, which must grow with d.
+func RunHHSeparation(opt Options) (*Report, error) {
+	const p = 2.0
+	tbl := &Table{
+		Name: "Theorem 5.3: heaviness of 0_S under l2 (ratio = f(0_S)/||f||_2)",
+		Columns: []string{
+			"d", "eps", "|T|", "rows", "f(0_S) y in T", "ratio y in T",
+			"f(0_S) y not in T", "ratio y not in T", "separation",
+		},
+	}
+	rep := &Report{ID: "E4", Title: "Theorem 5.3 — projected ℓp heavy hitters lower bound (p>1)", Tables: []*Table{tbl}}
+	src := rng.New(opt.Seed ^ 0xe4)
+
+	for _, ps := range hhParams(opt.Quick) {
+		var stats [2]struct {
+			f0s   float64
+			ratio float64
+		}
+		var rows uint64
+		for i, inT := range []bool{true, false} {
+			ps.InT = inT
+			inst, err := workload.NewHHInstance(ps, src)
+			if err != nil {
+				return nil, fmt.Errorf("d=%d: %w", ps.D, err)
+			}
+			stream, err := inst.Source()
+			if err != nil {
+				return nil, err
+			}
+			v := freq.FromSource(stream, inst.Query)
+			rows = inst.RowCount()
+			zero := string(words.AppendKey(nil, inst.ZeroPattern(), words.FullColumnSet(inst.Query.Len())))
+			f := float64(v.Count(zero))
+			stats[i].f0s = f
+			stats[i].ratio = f / v.Norm(p)
+		}
+		sep := stats[0].ratio / stats[1].ratio
+		tbl.AddRow(ps.D, ps.Eps, ps.TSize, rows,
+			stats[0].f0s, stats[0].ratio, stats[1].f0s, stats[1].ratio, sep)
+	}
+	rep.Notes = append(rep.Notes,
+		"Instance: 2^{εd} copies of 1_d plus star₂(T); Bob queries S = [d] \\ supp(y).",
+		"Separation grows like 2^{Θ(εd)}: a constant-factor HH algorithm distinguishes the cases, solving Index.",
+	)
+	return rep, nil
+}
+
+// RunFpSeparation validates Theorem 5.4: projected F_p changes by more
+// than a constant between the two Index cases, for p < 1 (star-only
+// instance, query supp(y)) and p > 1 (the Theorem 5.3 instance, query
+// the complement).
+func RunFpSeparation(opt Options) (*Report, error) {
+	rep := &Report{ID: "E5", Title: "Theorem 5.4 — projected Fp estimation lower bound (p≠1)"}
+
+	low := &Table{
+		Name: "p = 0.5 (instance: A = star₂(T), query S = supp(y))",
+		Columns: []string{
+			"d", "eps", "|T|", "F_p y in T", "threshold 2^{εd}",
+			"F_p y not in T", "separation",
+		},
+	}
+	high := &Table{
+		Name: "p = 2 (instance of Theorem 5.3, query S = [d] \\ supp(y))",
+		Columns: []string{
+			"d", "eps", "|T|", "F_p y in T", "F_p y not in T", "separation",
+		},
+	}
+	rep.Tables = []*Table{low, high}
+	src := rng.New(opt.Seed ^ 0xe5)
+
+	for _, ps := range hhParams(opt.Quick) {
+		// p < 1 case.
+		var fp [2]float64
+		var inst0 *workload.FpInstance
+		for i, inT := range []bool{true, false} {
+			ps.InT = inT
+			inst, err := workload.NewFpInstance(ps, src)
+			if err != nil {
+				return nil, err
+			}
+			inst0 = inst
+			stream, err := inst.Source()
+			if err != nil {
+				return nil, err
+			}
+			fp[i] = freq.FromSource(stream, inst.Query).F(0.5)
+		}
+		low.AddRow(ps.D, ps.Eps, ps.TSize, fp[0], inst0.ThresholdHigh(), fp[1], fp[0]/fp[1])
+
+		// p > 1 case reuses the heavy-hitter instance.
+		var f2 [2]float64
+		for i, inT := range []bool{true, false} {
+			ps.InT = inT
+			inst, err := workload.NewHHInstance(ps, src)
+			if err != nil {
+				return nil, err
+			}
+			stream, err := inst.Source()
+			if err != nil {
+				return nil, err
+			}
+			f2[i] = freq.FromSource(stream, inst.Query).F(2)
+		}
+		high.AddRow(ps.D, ps.Eps, ps.TSize, f2[0], f2[1], f2[0]/f2[1])
+	}
+	rep.Notes = append(rep.Notes,
+		"For p<1, y∈T forces all 2^{εd} patterns of star(y) to appear, so F_p ≥ 2^{εd}; y∉T concentrates the mass on ≤ |T|·2^{(ε²+γ)d} patterns (Case 1 of the proof).",
+		"For p>1, the F2 mass of 0_S appears/disappears with y, shifting F2 by a constant factor.",
+	)
+	return rep, nil
+}
+
+// RunLpSampling validates Theorem 5.5: an (approximate) ℓp sampler's
+// output distribution shifts detectably between the Index cases for
+// p ≠ 1. For p = 0.5 Bob checks membership of the sample in
+// M′ = {z ∈ star(y)|_S : |supp(z)| ≥ εd/2}: probability ≥ ~1/4 when
+// y ∈ T and exactly 0 otherwise. For p = 2, sampling 0_S on the
+// Theorem 5.3 instance has Ω(1) vs ≈ 0 probability.
+func RunLpSampling(opt Options) (*Report, error) {
+	draws := 400
+	if opt.Quick {
+		draws = 100
+	}
+	lowTbl := &Table{
+		Name: "p = 0.5: empirical P[sample in M'] (exact lp sampler over f(A,S))",
+		Columns: []string{
+			"d", "eps", "|M'|", "P y in T", "P y not in T", "exact P y in T (mass)",
+		},
+	}
+	highTbl := &Table{
+		Name: "p = 2: empirical P[sample = 0_S]",
+		Columns: []string{
+			"d", "eps", "P y in T", "P y not in T",
+		},
+	}
+	rep := &Report{ID: "E6", Title: "Theorem 5.5 — projected ℓp sampling lower bound (p≠1)", Tables: []*Table{lowTbl, highTbl}}
+	src := rng.New(opt.Seed ^ 0xe6)
+
+	for _, ps := range hhParams(opt.Quick) {
+		// p = 0.5 case on the star-only instance.
+		var pHit [2]float64
+		var exactMass float64
+		var mSize int
+		for i, inT := range []bool{true, false} {
+			ps.InT = inT
+			inst, err := workload.NewFpInstance(ps, src)
+			if err != nil {
+				return nil, err
+			}
+			stream, err := inst.Source()
+			if err != nil {
+				return nil, err
+			}
+			v := freq.FromSource(stream, inst.Query)
+			sampler := v.NewSampler(0.5)
+			mprime := inst.MPrime()
+			mSize = len(mprime)
+			hits := 0
+			for t := 0; t < draws; t++ {
+				if _, ok := mprime[sampler.Sample(src)]; ok {
+					hits++
+				}
+			}
+			pHit[i] = float64(hits) / float64(draws)
+			if inT {
+				mass := 0.0
+				for key := range mprime {
+					mass += sampler.Probability(key)
+				}
+				exactMass = mass
+			}
+		}
+		lowTbl.AddRow(ps.D, ps.Eps, mSize, pHit[0], pHit[1], exactMass)
+
+		// p = 2 case on the heavy-hitter instance.
+		var pZero [2]float64
+		for i, inT := range []bool{true, false} {
+			ps.InT = inT
+			inst, err := workload.NewHHInstance(ps, src)
+			if err != nil {
+				return nil, err
+			}
+			stream, err := inst.Source()
+			if err != nil {
+				return nil, err
+			}
+			v := freq.FromSource(stream, inst.Query)
+			sampler := v.NewSampler(2)
+			zero := string(words.AppendKey(nil, inst.ZeroPattern(), words.FullColumnSet(inst.Query.Len())))
+			hits := 0
+			for t := 0; t < draws; t++ {
+				if sampler.Sample(src) == zero {
+					hits++
+				}
+			}
+			pZero[i] = float64(hits) / float64(draws)
+		}
+		highTbl.AddRow(ps.D, ps.Eps, pZero[0], pZero[1])
+	}
+	rep.Notes = append(rep.Notes,
+		"P[M'] = 0 when y ∉ T because codeword intersections (≤ (ε²+γ)d) cannot reach weight εd/2 on S (Case 2 of the proof).",
+		fmt.Sprintf("Empirical probabilities use %d draws from the exact sampler; the sampler itself needs Θ(nd) state — Theorem 5.5 shows that is inherent for p ≠ 1.", draws),
+	)
+	return rep, nil
+}

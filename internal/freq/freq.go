@@ -1,0 +1,222 @@
+// Package freq computes exact projected frequency statistics: the
+// frequency vector f(A, C) of Section 2, its moments F_p, heavy
+// hitters, point frequencies, and exact ℓ_p sampling. It is the ground
+// truth every approximate summary in the module is validated against,
+// and it is also the "keep the entire input" Θ(nd) baseline discussed
+// in Section 3.1.
+package freq
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/rng"
+	"repro/internal/words"
+)
+
+// Vector is a materialized frequency vector f(A, C): pattern → count.
+// Patterns are stored by their compact byte key (words.AppendKey); the
+// projected word is recoverable via words.KeyToWord.
+type Vector struct {
+	counts map[string]int64
+	total  int64 // F_1 = n, invariant under C (as the paper notes)
+}
+
+// NewVector returns an empty frequency vector.
+func NewVector() *Vector {
+	return &Vector{counts: make(map[string]int64)}
+}
+
+// FromSource streams src and counts the projections of its rows onto
+// c, producing f(A, C) without materializing A.
+func FromSource(src words.RowSource, c words.ColumnSet) *Vector {
+	v := NewVector()
+	var buf []byte
+	for {
+		w, ok := src.Next()
+		if !ok {
+			return v
+		}
+		buf = words.AppendKey(buf[:0], w, c)
+		v.counts[string(buf)]++
+		v.total++
+	}
+}
+
+// FromTable is FromSource over a materialized table.
+func FromTable(t *words.Table, c words.ColumnSet) *Vector {
+	return FromSource(t.Source(), c)
+}
+
+// Add increments the count of the pattern with the given key.
+func (v *Vector) Add(key string, count int64) {
+	if count <= 0 {
+		panic("freq: non-positive count")
+	}
+	v.counts[key] += count
+	v.total += count
+}
+
+// AddWord increments the count of w projected onto c.
+func (v *Vector) AddWord(w words.Word, c words.ColumnSet) {
+	key := string(words.AppendKey(nil, w, c))
+	v.counts[key]++
+	v.total++
+}
+
+// Count returns f_{e(pattern)}: the frequency of the projected word
+// with the given key.
+func (v *Vector) Count(key string) int64 { return v.counts[key] }
+
+// CountWord returns the frequency of the (already projected) word b.
+func (v *Vector) CountWord(b words.Word) int64 {
+	full := words.FullColumnSet(len(b))
+	return v.counts[string(words.AppendKey(nil, b, full))]
+}
+
+// Total returns F_1 = Σ_i f_i = n.
+func (v *Vector) Total() int64 { return v.total }
+
+// Support returns F_0 = ‖f‖_0, the number of distinct patterns.
+func (v *Vector) Support() int64 { return int64(len(v.counts)) }
+
+// F computes the frequency moment F_p = Σ_i f_i^p for any real p ≥ 0.
+// F(0) counts distinct patterns; F(1) = n.
+func (v *Vector) F(p float64) float64 {
+	if p < 0 {
+		panic("freq: negative moment order")
+	}
+	if p == 0 {
+		return float64(len(v.counts))
+	}
+	var s float64
+	for _, c := range v.counts {
+		s += math.Pow(float64(c), p)
+	}
+	return s
+}
+
+// Norm returns ‖f‖_p = F_p^{1/p} for p > 0.
+func (v *Vector) Norm(p float64) float64 {
+	if p <= 0 {
+		panic("freq: norm order must be positive")
+	}
+	return math.Pow(v.F(p), 1/p)
+}
+
+// HeavyHitter is a pattern together with its exact frequency and its
+// heaviness ratio f_i / ‖f‖_p.
+type HeavyHitter struct {
+	Key   string
+	Word  words.Word
+	Count int64
+	Ratio float64
+}
+
+// HeavyHitters returns all φ-ℓ_p heavy hitters: patterns with
+// f_i ≥ φ‖f‖_p (Section 2.1), sorted by decreasing count with ties
+// broken by key for determinism.
+func (v *Vector) HeavyHitters(p, phi float64) []HeavyHitter {
+	if phi <= 0 || phi > 1 {
+		panic(fmt.Sprintf("freq: phi %v outside (0, 1]", phi))
+	}
+	norm := v.Norm(p)
+	thresh := phi * norm
+	var out []HeavyHitter
+	for k, c := range v.counts {
+		if float64(c) >= thresh {
+			out = append(out, HeavyHitter{
+				Key:   k,
+				Word:  words.KeyToWord(k),
+				Count: c,
+				Ratio: float64(c) / norm,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// Entries returns all (key, count) pairs sorted by key; used by tests
+// and serialization.
+func (v *Vector) Entries() []Entry {
+	out := make([]Entry, 0, len(v.counts))
+	for k, c := range v.counts {
+		out = append(out, Entry{Key: k, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Entry is a single frequency vector coordinate.
+type Entry struct {
+	Key   string
+	Count int64
+}
+
+// Sampler draws patterns i with probability f_i^p / F_p: an exact
+// (offline) ℓ_p sampler over a materialized frequency vector. It is
+// the oracle Bob queries in the Theorem 5.5 experiments; the theorem
+// itself shows no small-space streaming equivalent exists for p ≠ 1.
+type Sampler struct {
+	keys []string
+	cum  []float64
+	fp   float64
+}
+
+// NewSampler prepares an exact ℓ_p sampler for the vector. p = 0
+// samples uniformly over distinct patterns; p = 1 over rows.
+func (v *Vector) NewSampler(p float64) *Sampler {
+	entries := v.Entries()
+	s := &Sampler{keys: make([]string, len(entries)), cum: make([]float64, len(entries))}
+	running := 0.0
+	for i, e := range entries {
+		s.keys[i] = e.Key
+		if p == 0 {
+			running += 1
+		} else {
+			running += math.Pow(float64(e.Count), p)
+		}
+		s.cum[i] = running
+	}
+	s.fp = running
+	return s
+}
+
+// Mass returns F_p, the normalizing constant.
+func (s *Sampler) Mass() float64 { return s.fp }
+
+// Sample returns the key of a pattern drawn with probability
+// f_i^p / F_p.
+func (s *Sampler) Sample(r *rng.Source) string {
+	if len(s.keys) == 0 {
+		panic("freq: sampling from empty vector")
+	}
+	u := r.Float64() * s.fp
+	i := sort.SearchFloat64s(s.cum, u)
+	if i >= len(s.keys) {
+		i = len(s.keys) - 1
+	}
+	return s.keys[i]
+}
+
+// Probability returns the exact sampling probability of the given key
+// (0 if absent), so experiments can report the (1±ε′) estimate the
+// problem definition in Section 2.1 demands.
+func (s *Sampler) Probability(key string) float64 {
+	i := sort.SearchStrings(s.keys, key)
+	if i >= len(s.keys) || s.keys[i] != key {
+		return 0
+	}
+	prev := 0.0
+	if i > 0 {
+		prev = s.cum[i-1]
+	}
+	return (s.cum[i] - prev) / s.fp
+}

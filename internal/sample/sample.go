@@ -1,0 +1,314 @@
+// Package sample implements the row-sampling primitives behind the
+// paper's upper bounds: the with-replacement uniform sampler of
+// Theorem 5.1 (uSample), classical reservoir sampling, Bernoulli
+// sampling, a min-hash distinct (ℓ₀) sampler valid for insertion-only
+// streams, and an Efraimidis–Spirakis weighted sampler. All samplers
+// store words.Word rows and are deterministic given their seed.
+package sample
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/hashing"
+	"repro/internal/rng"
+	"repro/internal/words"
+)
+
+// WithReplacement implements the sampler of Theorem 5.1: t independent
+// uniform row samples, drawn with replacement, maintained online.
+// Each of the t slots runs an independent reservoir of size one, which
+// is exactly a uniform draw from the stream; the slots are mutually
+// independent, so the Chernoff argument of Appendix A.1 applies.
+type WithReplacement struct {
+	t    int
+	seen int64
+	rows []words.Word
+	srcs []*rng.Source
+}
+
+// NewWithReplacement returns a sampler with t slots.
+func NewWithReplacement(t int, seed uint64) *WithReplacement {
+	if t < 1 {
+		panic("sample: need at least one slot")
+	}
+	master := rng.New(seed)
+	s := &WithReplacement{
+		t:    t,
+		rows: make([]words.Word, t),
+		srcs: make([]*rng.Source, t),
+	}
+	for i := range s.srcs {
+		s.srcs[i] = master.Fork(uint64(i))
+	}
+	return s
+}
+
+// SizeForError returns the sample size t = ⌈2 ln(2/δ)/ε²⌉ that
+// Theorem 5.1's Chernoff bound needs for additive error ε‖f‖₁ with
+// probability 1-δ.
+func SizeForError(eps, delta float64) int {
+	if eps <= 0 || eps >= 1 || delta <= 0 || delta >= 1 {
+		panic("sample: error parameters outside (0,1)")
+	}
+	return int(2.0*math.Log(2/delta)/(eps*eps)) + 1
+}
+
+// Observe feeds one row into every slot's reservoir.
+func (s *WithReplacement) Observe(w words.Word) {
+	s.seen++
+	for i := range s.rows {
+		// Keep the new row with probability 1/seen.
+		if s.srcs[i].Uint64n(uint64(s.seen)) == 0 {
+			s.rows[i] = w.Clone()
+		}
+	}
+}
+
+// Seen returns the stream length n observed so far.
+func (s *WithReplacement) Seen() int64 { return s.seen }
+
+// Size returns the number of slots t.
+func (s *WithReplacement) Size() int { return s.t }
+
+// Rows returns the current sample; nil entries only before any row is
+// observed.
+func (s *WithReplacement) Rows() []words.Word { return s.rows }
+
+// EstimateFrequency returns the Theorem 5.1 estimator of the absolute
+// frequency of pattern b on projection c: the sample count g scaled by
+// n/t.
+func (s *WithReplacement) EstimateFrequency(c words.ColumnSet, b words.Word) float64 {
+	if s.seen == 0 {
+		return 0
+	}
+	if len(b) != c.Len() {
+		panic(fmt.Sprintf("sample: pattern length %d != |C| = %d", len(b), c.Len()))
+	}
+	var bkey, rkey []byte
+	full := words.FullColumnSet(len(b))
+	bkey = words.AppendKey(bkey, b, full)
+	g := 0
+	for _, row := range s.rows {
+		if row == nil {
+			continue
+		}
+		rkey = words.AppendKey(rkey[:0], row, c)
+		if string(rkey) == string(bkey) {
+			g++
+		}
+	}
+	return float64(g) / float64(s.t) * float64(s.seen)
+}
+
+// ProjectedCounts returns the pattern→sample-count map of the sample
+// projected onto c, the input to sample-based heavy hitter detection.
+func (s *WithReplacement) ProjectedCounts(c words.ColumnSet) map[string]int {
+	counts := make(map[string]int)
+	var key []byte
+	for _, row := range s.rows {
+		if row == nil {
+			continue
+		}
+		key = words.AppendKey(key[:0], row, c)
+		counts[string(key)]++
+	}
+	return counts
+}
+
+// Reservoir is classical Algorithm-R reservoir sampling: a uniform
+// sample of size t without replacement. Used as the ablation partner
+// of WithReplacement in DESIGN.md §5.
+type Reservoir struct {
+	t    int
+	seen int64
+	rows []words.Word
+	src  *rng.Source
+}
+
+// NewReservoir returns a reservoir of capacity t.
+func NewReservoir(t int, seed uint64) *Reservoir {
+	if t < 1 {
+		panic("sample: need positive reservoir size")
+	}
+	return &Reservoir{t: t, src: rng.New(seed)}
+}
+
+// Observe feeds one row.
+func (r *Reservoir) Observe(w words.Word) {
+	r.seen++
+	if len(r.rows) < r.t {
+		r.rows = append(r.rows, w.Clone())
+		return
+	}
+	j := r.src.Uint64n(uint64(r.seen))
+	if j < uint64(r.t) {
+		r.rows[j] = w.Clone()
+	}
+}
+
+// Seen returns the stream length observed.
+func (r *Reservoir) Seen() int64 { return r.seen }
+
+// Rows returns the current sample (length ≤ t).
+func (r *Reservoir) Rows() []words.Word { return r.rows }
+
+// EstimateFrequency scales the sample count of pattern b on c by n/|sample|.
+func (r *Reservoir) EstimateFrequency(c words.ColumnSet, b words.Word) float64 {
+	if len(r.rows) == 0 {
+		return 0
+	}
+	full := words.FullColumnSet(len(b))
+	bkey := words.AppendKey(nil, b, full)
+	var rkey []byte
+	g := 0
+	for _, row := range r.rows {
+		rkey = words.AppendKey(rkey[:0], row, c)
+		if string(rkey) == string(bkey) {
+			g++
+		}
+	}
+	return float64(g) / float64(len(r.rows)) * float64(r.seen)
+}
+
+// Bernoulli keeps each row independently with probability rate.
+type Bernoulli struct {
+	rate float64
+	seen int64
+	rows []words.Word
+	src  *rng.Source
+}
+
+// NewBernoulli returns a sampler with the given keep probability.
+func NewBernoulli(rate float64, seed uint64) *Bernoulli {
+	if rate <= 0 || rate > 1 {
+		panic("sample: Bernoulli rate outside (0,1]")
+	}
+	return &Bernoulli{rate: rate, src: rng.New(seed)}
+}
+
+// Observe feeds one row.
+func (b *Bernoulli) Observe(w words.Word) {
+	b.seen++
+	if b.src.Float64() < b.rate {
+		b.rows = append(b.rows, w.Clone())
+	}
+}
+
+// Rows returns the kept rows.
+func (b *Bernoulli) Rows() []words.Word { return b.rows }
+
+// Seen returns the stream length observed.
+func (b *Bernoulli) Seen() int64 { return b.seen }
+
+// Rate returns the keep probability.
+func (b *Bernoulli) Rate() float64 { return b.rate }
+
+// Distinct is a min-hash ℓ₀ sampler for insertion-only streams: it
+// retains the t rows whose full-row fingerprints hash smallest, which
+// is a uniform sample (without replacement) from the *distinct* rows
+// seen. Valid only without deletions — exactly the paper's model.
+type Distinct struct {
+	t     int
+	h     hashing.Mixer
+	items []distinctItem
+	index map[uint64]struct{}
+}
+
+type distinctItem struct {
+	hash uint64
+	row  words.Word
+}
+
+// NewDistinct returns an ℓ₀ sampler retaining t distinct rows.
+func NewDistinct(t int, seed uint64) *Distinct {
+	if t < 1 {
+		panic("sample: need positive distinct-sample size")
+	}
+	return &Distinct{t: t, h: hashing.NewMixer(seed), index: make(map[uint64]struct{})}
+}
+
+// Observe feeds one row.
+func (d *Distinct) Observe(w words.Word) {
+	full := words.FullColumnSet(len(w))
+	hv := d.h.Hash(hashing.Fingerprint64(words.AppendKey(nil, w, full)))
+	if _, dup := d.index[hv]; dup {
+		return
+	}
+	if len(d.items) >= d.t && hv >= d.items[len(d.items)-1].hash {
+		return
+	}
+	d.index[hv] = struct{}{}
+	i := sort.Search(len(d.items), func(i int) bool { return d.items[i].hash >= hv })
+	d.items = append(d.items, distinctItem{})
+	copy(d.items[i+1:], d.items[i:])
+	d.items[i] = distinctItem{hash: hv, row: w.Clone()}
+	if len(d.items) > d.t {
+		drop := d.items[len(d.items)-1]
+		delete(d.index, drop.hash)
+		d.items = d.items[:len(d.items)-1]
+	}
+}
+
+// Rows returns the sampled distinct rows (ascending hash order).
+func (d *Distinct) Rows() []words.Word {
+	out := make([]words.Word, len(d.items))
+	for i, it := range d.items {
+		out[i] = it.row
+	}
+	return out
+}
+
+// Weighted is the Efraimidis–Spirakis A-ES sampler: a size-t sample
+// where item i is included with probability proportional to its
+// weight, maintained online via keys u^{1/w}.
+type Weighted struct {
+	t     int
+	src   *rng.Source
+	items []weightedItem
+}
+
+type weightedItem struct {
+	key float64
+	row words.Word
+}
+
+// NewWeighted returns a weighted sampler of capacity t.
+func NewWeighted(t int, seed uint64) *Weighted {
+	if t < 1 {
+		panic("sample: need positive weighted-sample size")
+	}
+	return &Weighted{t: t, src: rng.New(seed)}
+}
+
+// Observe feeds one row with the given positive weight.
+func (ws *Weighted) Observe(w words.Word, weight float64) {
+	if weight <= 0 {
+		panic("sample: non-positive weight")
+	}
+	u := ws.src.Float64()
+	for u == 0 {
+		u = ws.src.Float64()
+	}
+	key := math.Pow(u, 1/weight)
+	if len(ws.items) >= ws.t && key <= ws.items[len(ws.items)-1].key {
+		return
+	}
+	i := sort.Search(len(ws.items), func(i int) bool { return ws.items[i].key <= key })
+	ws.items = append(ws.items, weightedItem{})
+	copy(ws.items[i+1:], ws.items[i:])
+	ws.items[i] = weightedItem{key: key, row: w.Clone()}
+	if len(ws.items) > ws.t {
+		ws.items = ws.items[:len(ws.items)-1]
+	}
+}
+
+// Rows returns the sampled rows, highest key first.
+func (ws *Weighted) Rows() []words.Word {
+	out := make([]words.Word, len(ws.items))
+	for i, it := range ws.items {
+		out[i] = it.row
+	}
+	return out
+}

@@ -1,0 +1,268 @@
+package sample
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/words"
+)
+
+// makeStream returns n rows where pattern (1,1) on columns {0,1}
+// appears with exact frequency heavy and the rest are distinct-ish.
+func makeStream(n, heavy int) []words.Word {
+	rows := make([]words.Word, 0, n)
+	for i := 0; i < heavy; i++ {
+		rows = append(rows, words.Word{1, 1, uint16(i % 4)})
+	}
+	for i := heavy; i < n; i++ {
+		rows = append(rows, words.Word{0, uint16(i % 2), uint16(i % 4)})
+	}
+	return rows
+}
+
+func TestWithReplacementFrequencyEstimate(t *testing.T) {
+	const n, heavy = 20000, 5000 // true rate 0.25
+	rows := makeStream(n, heavy)
+	s := NewWithReplacement(SizeForError(0.05, 0.01), 1)
+	for _, r := range rows {
+		s.Observe(r)
+	}
+	if s.Seen() != n {
+		t.Fatalf("Seen = %d", s.Seen())
+	}
+	c := words.MustColumnSet(3, 0, 1)
+	est := s.EstimateFrequency(c, words.Word{1, 1})
+	if math.Abs(est-heavy) > 0.05*n {
+		t.Fatalf("estimate %v, truth %d, bound %v", est, heavy, 0.05*n)
+	}
+	// A pattern that never occurs must estimate near zero.
+	if est := s.EstimateFrequency(c, words.Word{1, 0}); est > 0.05*n {
+		t.Fatalf("absent pattern estimate %v", est)
+	}
+}
+
+// TestWithReplacementChernoffBound replays Theorem 5.1's guarantee
+// over many independent samplers: the fraction of estimates within
+// eps*n must be at least 1-delta.
+func TestWithReplacementChernoffBound(t *testing.T) {
+	const n, heavy = 5000, 1000
+	const eps, delta = 0.1, 0.05
+	rows := makeStream(n, heavy)
+	c := words.MustColumnSet(3, 0, 1)
+	b := words.Word{1, 1}
+	within := 0
+	const trials = 60
+	for trial := 0; trial < trials; trial++ {
+		s := NewWithReplacement(SizeForError(eps, delta), uint64(trial+10))
+		for _, r := range rows {
+			s.Observe(r)
+		}
+		if math.Abs(s.EstimateFrequency(c, b)-heavy) <= eps*n {
+			within++
+		}
+	}
+	if frac := float64(within) / trials; frac < 1-delta {
+		t.Fatalf("bound held in %v of trials, want >= %v", frac, 1-delta)
+	}
+}
+
+func TestWithReplacementQueryAfterData(t *testing.T) {
+	// The sampler never sees C: any projection must work post hoc.
+	rows := makeStream(8000, 2000)
+	s := NewWithReplacement(600, 3)
+	for _, r := range rows {
+		s.Observe(r)
+	}
+	for _, cols := range [][]int{{0}, {1, 2}, {0, 1, 2}} {
+		c := words.MustColumnSet(3, cols...)
+		counts := s.ProjectedCounts(c)
+		total := 0
+		for _, v := range counts {
+			total += v
+		}
+		if total != 600 {
+			t.Fatalf("projected counts over %v sum to %d, want 600", cols, total)
+		}
+	}
+}
+
+func TestWithReplacementPatternValidation(t *testing.T) {
+	s := NewWithReplacement(4, 1)
+	s.Observe(words.Word{1, 2, 3})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong pattern length")
+		}
+	}()
+	s.EstimateFrequency(words.MustColumnSet(3, 0, 1), words.Word{1})
+}
+
+func TestSizeForError(t *testing.T) {
+	t1 := SizeForError(0.1, 0.05)
+	t2 := SizeForError(0.05, 0.05)
+	if t2 < 4*t1-2 {
+		t.Fatalf("halving eps must ~quadruple t: %d vs %d", t1, t2)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SizeForError(0, 0.5)
+}
+
+func TestReservoirSizeAndScaling(t *testing.T) {
+	const n, heavy = 10000, 2500
+	rows := makeStream(n, heavy)
+	s := NewReservoir(500, 5)
+	for _, r := range rows {
+		s.Observe(r)
+	}
+	if len(s.Rows()) != 500 || s.Seen() != n {
+		t.Fatalf("reservoir holds %d of %d", len(s.Rows()), s.Seen())
+	}
+	c := words.MustColumnSet(3, 0, 1)
+	est := s.EstimateFrequency(c, words.Word{1, 1})
+	if math.Abs(est-heavy) > 0.08*n {
+		t.Fatalf("reservoir estimate %v, truth %d", est, heavy)
+	}
+}
+
+func TestReservoirShortStream(t *testing.T) {
+	s := NewReservoir(100, 7)
+	for i := 0; i < 10; i++ {
+		s.Observe(words.Word{uint16(i)})
+	}
+	if len(s.Rows()) != 10 {
+		t.Fatalf("short stream keeps all rows: %d", len(s.Rows()))
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	s := NewBernoulli(0.1, 9)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		s.Observe(words.Word{uint16(i % 7)})
+	}
+	kept := float64(len(s.Rows()))
+	if math.Abs(kept/n-0.1) > 0.01 {
+		t.Fatalf("Bernoulli kept %v of stream, want 0.1", kept/n)
+	}
+	if s.Seen() != n || s.Rate() != 0.1 {
+		t.Fatalf("bookkeeping: seen %d rate %v", s.Seen(), s.Rate())
+	}
+}
+
+func TestDistinctSamplerDedups(t *testing.T) {
+	s := NewDistinct(16, 11)
+	// 8 distinct rows, each observed many times.
+	for rep := 0; rep < 100; rep++ {
+		for v := 0; v < 8; v++ {
+			s.Observe(words.Word{uint16(v)})
+		}
+	}
+	rows := s.Rows()
+	if len(rows) != 8 {
+		t.Fatalf("distinct sampler holds %d, want 8", len(rows))
+	}
+	seen := map[uint16]bool{}
+	for _, r := range rows {
+		if seen[r[0]] {
+			t.Fatal("duplicate in distinct sample")
+		}
+		seen[r[0]] = true
+	}
+}
+
+func TestDistinctSamplerUniformOverDistinct(t *testing.T) {
+	// 100 distinct rows with wildly different multiplicities; a
+	// min-hash sample of 20 must be (near) uniform over the 100, not
+	// weighted by multiplicity. Count inclusion of the heavy value
+	// across seeds.
+	includes := 0
+	const seeds = 300
+	for seed := uint64(0); seed < seeds; seed++ {
+		s := NewDistinct(20, seed)
+		for i := 0; i < 100; i++ {
+			reps := 1
+			if i == 0 {
+				reps = 1000 // heavy row
+			}
+			for r := 0; r < reps; r++ {
+				s.Observe(words.Word{uint16(i)})
+			}
+		}
+		for _, r := range s.Rows() {
+			if r[0] == 0 {
+				includes++
+			}
+		}
+	}
+	rate := float64(includes) / seeds
+	if math.Abs(rate-0.2) > 0.08 {
+		t.Fatalf("heavy row inclusion rate %v, want ~0.2 (uniform over distinct)", rate)
+	}
+}
+
+func TestWeightedSamplerPrefersHeavyWeights(t *testing.T) {
+	const trials = 400
+	heavyWins := 0
+	for seed := uint64(0); seed < trials; seed++ {
+		s := NewWeighted(1, seed)
+		s.Observe(words.Word{0}, 1)
+		s.Observe(words.Word{1}, 9)
+		if s.Rows()[0][0] == 1 {
+			heavyWins++
+		}
+	}
+	rate := float64(heavyWins) / trials
+	if math.Abs(rate-0.9) > 0.06 {
+		t.Fatalf("heavy item sampled at rate %v, want ~0.9", rate)
+	}
+}
+
+func TestWeightedSamplerValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-positive weight")
+		}
+	}()
+	NewWeighted(2, 1).Observe(words.Word{0}, 0)
+}
+
+func TestSamplersCloneRows(t *testing.T) {
+	w := words.Word{5}
+	s := NewReservoir(4, 13)
+	s.Observe(w)
+	w[0] = 9
+	if s.Rows()[0][0] != 5 {
+		t.Fatal("reservoir must clone observed rows")
+	}
+	wr := NewWithReplacement(2, 13)
+	w2 := words.Word{7}
+	wr.Observe(w2)
+	w2[0] = 1
+	for _, r := range wr.Rows() {
+		if r != nil && r[0] != 7 {
+			t.Fatal("with-replacement sampler must clone rows")
+		}
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	mk := func() *Reservoir {
+		s := NewReservoir(50, 99)
+		src := rng.New(1)
+		for i := 0; i < 5000; i++ {
+			s.Observe(words.Word{uint16(src.Intn(100))})
+		}
+		return s
+	}
+	a, b := mk(), mk()
+	for i := range a.Rows() {
+		if !a.Rows()[i].Equal(b.Rows()[i]) {
+			t.Fatal("same seed must reproduce the same sample")
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package sketch
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/hashing"
+)
+
+// AMS is the Alon–Matias–Szegedy F₂ estimator in its classical
+// "tug-of-war" form: a grid of independent ±1 counters
+// Z_{g,r} = Σ_i sign_{g,r}(i)·f_i with E[Z²] = F₂, combined by
+// averaging within groups and taking the median across groups
+// (median-of-means). Reference implementation for the paper's [1]
+// citation; the bucketized fast variant lives on CountSketch.
+type AMS struct {
+	groups int // median dimension
+	reps   int // mean dimension (per group)
+	seed   uint64
+	signs  []*hashing.PolyHash
+	z      []int64 // groups × reps, row-major
+}
+
+// NewAMS returns an AMS sketch with the given median/mean grid.
+func NewAMS(groups, reps int, seed uint64) *AMS {
+	if groups < 1 || reps < 1 {
+		panic("sketch: AMS shape must be positive")
+	}
+	s := &AMS{
+		groups: groups,
+		reps:   reps,
+		seed:   seed,
+		signs:  make([]*hashing.PolyHash, groups*reps),
+		z:      make([]int64, groups*reps),
+	}
+	for i := range s.signs {
+		s.signs[i] = hashing.NewPolyHash(seed+uint64(i)*0xe7037ed1a0b428db, 4)
+	}
+	return s
+}
+
+// AMSForError sizes the grid for relative error ε with failure
+// probability δ: reps = 8/ε² means, ⌈ln 1/δ⌉ medians.
+func AMSForError(eps, delta float64, seed uint64) *AMS {
+	if eps <= 0 || eps >= 1 || delta <= 0 || delta >= 1 {
+		panic("sketch: AMS error parameters outside (0,1)")
+	}
+	reps := int(8/(eps*eps)) + 1
+	groups := 1
+	for p := 1.0; p > delta && groups < 64; groups += 2 {
+		p /= 2.718
+	}
+	return NewAMS(groups|1, reps, seed)
+}
+
+// Groups returns the median dimension.
+func (s *AMS) Groups() int { return s.groups }
+
+// Reps returns the per-group mean dimension.
+func (s *AMS) Reps() int { return s.reps }
+
+// AddCount adds count occurrences of item.
+func (s *AMS) AddCount(item uint64, count int64) {
+	for i, h := range s.signs {
+		s.z[i] += int64(h.Sign(item)) * count
+	}
+}
+
+// Add observes a single occurrence of item.
+func (s *AMS) Add(item uint64) { s.AddCount(item, 1) }
+
+// EstimateMoment returns the median-of-means estimate of F₂.
+func (s *AMS) EstimateMoment() float64 {
+	means := make([]float64, s.groups)
+	for g := 0; g < s.groups; g++ {
+		sum := 0.0
+		for r := 0; r < s.reps; r++ {
+			v := float64(s.z[g*s.reps+r])
+			sum += v * v
+		}
+		means[g] = sum / float64(s.reps)
+	}
+	sort.Float64s(means)
+	if s.groups%2 == 1 {
+		return means[s.groups/2]
+	}
+	return (means[s.groups/2-1] + means[s.groups/2]) / 2
+}
+
+// Merge adds another AMS counter-wise.
+func (s *AMS) Merge(o *AMS) error {
+	if o.groups != s.groups || o.reps != s.reps || o.seed != s.seed {
+		return fmt.Errorf("%w: AMS shape/seed mismatch", ErrIncompatible)
+	}
+	for i, v := range o.z {
+		s.z[i] += v
+	}
+	return nil
+}
+
+// SizeBytes returns the serialized size.
+func (s *AMS) SizeBytes() int { return 1 + 4 + 4 + 8 + 8*len(s.z) }
+
+// MarshalBinary encodes the sketch.
+func (s *AMS) MarshalBinary() ([]byte, error) {
+	w := &writer{buf: make([]byte, 0, s.SizeBytes())}
+	w.u8(tagAMS)
+	w.u32(uint32(s.groups))
+	w.u32(uint32(s.reps))
+	w.u64(s.seed)
+	for _, v := range s.z {
+		w.i64(v)
+	}
+	return w.buf, nil
+}
+
+// UnmarshalBinary decodes a sketch produced by MarshalBinary.
+func (s *AMS) UnmarshalBinary(data []byte) error {
+	r := &reader{buf: data}
+	if r.u8() != tagAMS {
+		return fmt.Errorf("%w: not an AMS sketch", ErrCorrupt)
+	}
+	groups := int(r.u32())
+	reps := int(r.u32())
+	seed := r.u64()
+	if r.err != nil {
+		return r.err
+	}
+	if groups < 1 || reps < 1 || groups*reps > 1<<26 {
+		return fmt.Errorf("%w: AMS shape", ErrCorrupt)
+	}
+	tmp := NewAMS(groups, reps, seed)
+	for i := range tmp.z {
+		tmp.z[i] = r.i64()
+	}
+	if err := r.done(); err != nil {
+		return err
+	}
+	*s = *tmp
+	return nil
+}

@@ -1,0 +1,181 @@
+package sketch
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/hashing"
+)
+
+// CountMin is the Cormode–Muthukrishnan Count-Min sketch: depth
+// pairwise-independent hash rows over width counters. Point queries
+// return the row minimum, overestimating f_i by at most ε‖f‖₁ with
+// probability 1-δ when width = ⌈e/ε⌉ and depth = ⌈ln 1/δ⌉. The
+// optional conservative-update mode (an ablation point) only raises
+// counters to the minimum consistent value, reducing overestimation
+// on skewed streams at the cost of losing mergeability.
+type CountMin struct {
+	width        int
+	depth        int
+	seed         uint64
+	conservative bool
+	rows         []*hashing.PolyHash
+	counts       []int64 // depth × width, row-major
+	total        int64
+}
+
+// NewCountMin returns a CountMin sketch with the given shape.
+func NewCountMin(width, depth int, seed uint64, conservative bool) *CountMin {
+	if width < 1 || depth < 1 {
+		panic("sketch: CountMin shape must be positive")
+	}
+	s := &CountMin{
+		width:        width,
+		depth:        depth,
+		seed:         seed,
+		conservative: conservative,
+		rows:         make([]*hashing.PolyHash, depth),
+		counts:       make([]int64, width*depth),
+	}
+	for i := range s.rows {
+		s.rows[i] = hashing.NewPolyHash(seed+uint64(i)*0x9e3779b97f4a7c15, 2)
+	}
+	return s
+}
+
+// CountMinForError sizes the sketch for additive error ε‖f‖₁ with
+// failure probability δ.
+func CountMinForError(eps, delta float64, seed uint64, conservative bool) *CountMin {
+	if eps <= 0 || eps >= 1 || delta <= 0 || delta >= 1 {
+		panic("sketch: CountMin error parameters outside (0,1)")
+	}
+	w := int(math.Ceil(math.E / eps))
+	d := int(math.Ceil(math.Log(1 / delta)))
+	if d < 1 {
+		d = 1
+	}
+	return NewCountMin(w, d, seed, conservative)
+}
+
+// Width returns the per-row counter count.
+func (s *CountMin) Width() int { return s.width }
+
+// Depth returns the number of hash rows.
+func (s *CountMin) Depth() int { return s.depth }
+
+// Conservative reports whether conservative update is enabled.
+func (s *CountMin) Conservative() bool { return s.conservative }
+
+// Total returns the stream length Σ counts seen.
+func (s *CountMin) Total() int64 { return s.total }
+
+// AddCount adds count occurrences of item; count must be positive.
+func (s *CountMin) AddCount(item uint64, count int64) {
+	if count <= 0 {
+		panic("sketch: CountMin requires positive counts")
+	}
+	s.total += count
+	if !s.conservative {
+		for r := 0; r < s.depth; r++ {
+			s.counts[r*s.width+s.rows[r].Bucket(item, s.width)] += count
+		}
+		return
+	}
+	// Conservative update: raise each counter only to min+count.
+	min := int64(math.MaxInt64)
+	idx := make([]int, s.depth)
+	for r := 0; r < s.depth; r++ {
+		idx[r] = r*s.width + s.rows[r].Bucket(item, s.width)
+		if s.counts[idx[r]] < min {
+			min = s.counts[idx[r]]
+		}
+	}
+	target := min + count
+	for _, i := range idx {
+		if s.counts[i] < target {
+			s.counts[i] = target
+		}
+	}
+}
+
+// Add observes a single occurrence of item.
+func (s *CountMin) Add(item uint64) { s.AddCount(item, 1) }
+
+// EstimateCount returns the row-minimum estimate of f_item.
+func (s *CountMin) EstimateCount(item uint64) float64 {
+	min := int64(math.MaxInt64)
+	for r := 0; r < s.depth; r++ {
+		c := s.counts[r*s.width+s.rows[r].Bucket(item, s.width)]
+		if c < min {
+			min = c
+		}
+	}
+	return float64(min)
+}
+
+// Merge adds another CountMin counter-wise. It fails for
+// conservative sketches, whose updates are order-dependent.
+func (s *CountMin) Merge(o *CountMin) error {
+	if o.width != s.width || o.depth != s.depth || o.seed != s.seed {
+		return fmt.Errorf("%w: CountMin shape/seed mismatch", ErrIncompatible)
+	}
+	if s.conservative || o.conservative {
+		return fmt.Errorf("%w: conservative CountMin is not mergeable", ErrIncompatible)
+	}
+	for i, c := range o.counts {
+		s.counts[i] += c
+	}
+	s.total += o.total
+	return nil
+}
+
+// SizeBytes returns the serialized size.
+func (s *CountMin) SizeBytes() int { return 1 + 4 + 4 + 8 + 1 + 8 + 8*len(s.counts) }
+
+// MarshalBinary encodes the sketch.
+func (s *CountMin) MarshalBinary() ([]byte, error) {
+	w := &writer{buf: make([]byte, 0, s.SizeBytes())}
+	w.u8(tagCountMin)
+	w.u32(uint32(s.width))
+	w.u32(uint32(s.depth))
+	w.u64(s.seed)
+	if s.conservative {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+	w.i64(s.total)
+	for _, c := range s.counts {
+		w.i64(c)
+	}
+	return w.buf, nil
+}
+
+// UnmarshalBinary decodes a sketch produced by MarshalBinary.
+func (s *CountMin) UnmarshalBinary(data []byte) error {
+	r := &reader{buf: data}
+	if r.u8() != tagCountMin {
+		return fmt.Errorf("%w: not a CountMin sketch", ErrCorrupt)
+	}
+	width := int(r.u32())
+	depth := int(r.u32())
+	seed := r.u64()
+	conservative := r.u8() == 1
+	total := r.i64()
+	if r.err != nil {
+		return r.err
+	}
+	if width < 1 || depth < 1 || width*depth > 1<<28 {
+		return fmt.Errorf("%w: CountMin shape", ErrCorrupt)
+	}
+	tmp := NewCountMin(width, depth, seed, conservative)
+	tmp.total = total
+	for i := range tmp.counts {
+		tmp.counts[i] = r.i64()
+	}
+	if err := r.done(); err != nil {
+		return err
+	}
+	*s = *tmp
+	return nil
+}

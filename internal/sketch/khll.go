@@ -1,0 +1,167 @@
+package sketch
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/hashing"
+)
+
+// KHLL is the KHyperLogLog sketch of Chia et al. (IEEE S&P 2019),
+// the tool the paper's privacy/linkability motivation (Section 1)
+// cites: a KMV sample of k hashed values, each paired with a small
+// HyperLogLog counting the distinct ids observed with that value.
+// From it one estimates both the number of distinct values and the
+// distribution of ids-per-value — in the projected-frequency setting,
+// how close projected patterns come to uniquely identifying rows.
+//
+// KHLL answers the "target dimensions known in advance" regime of the
+// linkability problem; for dimensions revealed after the data, the
+// paper's Section 4 lower bound applies and the α-net summary is the
+// tool instead.
+type KHLL struct {
+	k         int
+	precision int
+	seed      uint64
+	h         hashing.Mixer
+	entries   map[uint64]*HLL // value hash → id counter, k smallest kept
+	maxHash   uint64          // current k-th smallest (threshold), valid when full
+}
+
+// NewKHLL returns a KHLL retaining k values with 2^precision-register
+// HLLs.
+func NewKHLL(k, precision int, seed uint64) *KHLL {
+	if k < 2 {
+		panic("sketch: KHLL requires k >= 2")
+	}
+	if precision < 4 || precision > 16 {
+		panic("sketch: KHLL precision outside [4, 16]")
+	}
+	return &KHLL{
+		k:         k,
+		precision: precision,
+		seed:      seed,
+		h:         hashing.NewMixer(seed),
+		entries:   make(map[uint64]*HLL, k),
+	}
+}
+
+// K returns the value-retention parameter.
+func (s *KHLL) K() int { return s.k }
+
+// Add observes one (value, id) pair — in the linkability use, value is
+// the fingerprint of a projected pattern and id identifies the row or
+// user it belongs to.
+func (s *KHLL) Add(value, id uint64) {
+	hv := s.h.Hash(value)
+	if hll, ok := s.entries[hv]; ok {
+		hll.Add(id)
+		return
+	}
+	if len(s.entries) >= s.k {
+		if hv >= s.maxHash {
+			return
+		}
+		delete(s.entries, s.maxHash)
+	}
+	hll := NewHLL(s.precision, s.seed^0x9e3779b97f4a7c15)
+	hll.Add(id)
+	s.entries[hv] = hll
+	s.refreshMax()
+}
+
+func (s *KHLL) refreshMax() {
+	if len(s.entries) < s.k {
+		s.maxHash = ^uint64(0)
+		return
+	}
+	max := uint64(0)
+	for hv := range s.entries {
+		if hv > max {
+			max = hv
+		}
+	}
+	s.maxHash = max
+}
+
+// DistinctValues estimates the number of distinct values observed
+// (the KMV estimator over the retained hashes).
+func (s *KHLL) DistinctValues() float64 {
+	n := len(s.entries)
+	if n < s.k {
+		return float64(n)
+	}
+	u := (float64(s.maxHash) + 1) / (1 << 63) / 2
+	return float64(s.k-1) / u
+}
+
+// UniquenessDistribution returns, for each requested ids-per-value
+// threshold t, the estimated fraction of values carrying at most t
+// distinct ids. The retained values are a uniform sample of the
+// distinct values, so sample fractions estimate population fractions
+// (the core KHLL observation).
+func (s *KHLL) UniquenessDistribution(thresholds []int) []float64 {
+	out := make([]float64, len(thresholds))
+	if len(s.entries) == 0 {
+		return out
+	}
+	counts := make([]float64, 0, len(s.entries))
+	for _, hll := range s.entries {
+		counts = append(counts, hll.Estimate())
+	}
+	sort.Float64s(counts)
+	for i, t := range thresholds {
+		idx := sort.SearchFloat64s(counts, float64(t)+0.5)
+		out[i] = float64(idx) / float64(len(counts))
+	}
+	return out
+}
+
+// HighlyIdentifying estimates the fraction of values seen with at
+// most maxIDs distinct ids — the re-identification risk measure.
+func (s *KHLL) HighlyIdentifying(maxIDs int) float64 {
+	return s.UniquenessDistribution([]int{maxIDs})[0]
+}
+
+// SizeBytes reports the serialized footprint: 8 bytes per retained
+// hash plus one HLL register block each.
+func (s *KHLL) SizeBytes() int {
+	total := 1 + 4 + 4 + 8
+	for _, hll := range s.entries {
+		total += 8 + hll.SizeBytes()
+	}
+	return total
+}
+
+// Merge folds another KHLL built with identical parameters into s.
+func (s *KHLL) Merge(o *KHLL) error {
+	if o.k != s.k || o.precision != s.precision || o.seed != s.seed {
+		return fmt.Errorf("%w: KHLL k/precision/seed mismatch", ErrIncompatible)
+	}
+	for hv, ohll := range o.entries {
+		if hll, ok := s.entries[hv]; ok {
+			if err := hll.Merge(ohll); err != nil {
+				return err
+			}
+			continue
+		}
+		cp := NewHLL(s.precision, s.seed^0x9e3779b97f4a7c15)
+		if err := cp.Merge(ohll); err != nil {
+			return err
+		}
+		s.entries[hv] = cp
+	}
+	// Trim back to the k smallest hashes.
+	if len(s.entries) > s.k {
+		hashes := make([]uint64, 0, len(s.entries))
+		for hv := range s.entries {
+			hashes = append(hashes, hv)
+		}
+		sort.Slice(hashes, func(i, j int) bool { return hashes[i] < hashes[j] })
+		for _, hv := range hashes[s.k:] {
+			delete(s.entries, hv)
+		}
+	}
+	s.refreshMax()
+	return nil
+}

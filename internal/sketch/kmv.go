@@ -1,0 +1,157 @@
+package sketch
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/hashing"
+)
+
+// KMV is the k-minimum-values distinct counter: it retains the k
+// smallest distinct hash values seen and estimates F0 as
+// (k-1) / u_(k) where u_(k) is the k-th smallest hash normalized to
+// (0, 1). Standard error is about 1/sqrt(k-2), so k = O(1/ε²) gives a
+// (1±ε) estimate — the contract Algorithm 1 requires of its
+// β-approximate sketches.
+//
+// KMV is exact while fewer than k distinct items have been seen,
+// merges by uniting value sets, and serializes to 8k + O(1) bytes.
+type KMV struct {
+	k    int
+	seed uint64
+	h    hashing.Mixer
+	vals maxHeap             // the k smallest hashes, max at root
+	set  map[uint64]struct{} // dedup of retained hashes
+}
+
+type maxHeap []uint64
+
+func (h maxHeap) Len() int            { return len(h) }
+func (h maxHeap) Less(i, j int) bool  { return h[i] > h[j] }
+func (h maxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *maxHeap) Push(x interface{}) { *h = append(*h, x.(uint64)) }
+func (h *maxHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// NewKMV returns a KMV sketch retaining k minima; k must be at least 2.
+func NewKMV(k int, seed uint64) *KMV {
+	if k < 2 {
+		panic("sketch: KMV requires k >= 2")
+	}
+	return &KMV{
+		k:    k,
+		seed: seed,
+		h:    hashing.NewMixer(seed),
+		set:  make(map[uint64]struct{}, k),
+	}
+}
+
+// KMVForEpsilon returns a KMV sized for standard error ε.
+func KMVForEpsilon(eps float64, seed uint64) *KMV {
+	if eps <= 0 || eps >= 1 {
+		panic("sketch: epsilon outside (0,1)")
+	}
+	k := int(1.0/(eps*eps)) + 3
+	return NewKMV(k, seed)
+}
+
+// K returns the retention parameter k.
+func (s *KMV) K() int { return s.k }
+
+// Seed returns the hash seed; merges require equal seeds.
+func (s *KMV) Seed() uint64 { return s.seed }
+
+// Add observes an item.
+func (s *KMV) Add(item uint64) {
+	s.addHash(s.h.Hash(item))
+}
+
+func (s *KMV) addHash(hv uint64) {
+	if _, dup := s.set[hv]; dup {
+		return
+	}
+	if len(s.vals) < s.k {
+		s.set[hv] = struct{}{}
+		heap.Push(&s.vals, hv)
+		return
+	}
+	if hv >= s.vals[0] {
+		return
+	}
+	delete(s.set, s.vals[0])
+	s.vals[0] = hv
+	heap.Fix(&s.vals, 0)
+	s.set[hv] = struct{}{}
+}
+
+// Estimate returns the approximate number of distinct items observed.
+func (s *KMV) Estimate() float64 {
+	if len(s.vals) < s.k {
+		return float64(len(s.vals)) // exact below saturation
+	}
+	// Normalize the k-th minimum to (0, 1): u = (max+1) / 2^64.
+	u := (float64(s.vals[0]) + 1) / (1 << 63) / 2
+	return float64(s.k-1) / u
+}
+
+// Merge unions another KMV into s. Both must share k and seed.
+func (s *KMV) Merge(o *KMV) error {
+	if o.k != s.k || o.seed != s.seed {
+		return fmt.Errorf("%w: KMV k/seed mismatch", ErrIncompatible)
+	}
+	for _, hv := range o.vals {
+		s.addHash(hv)
+	}
+	return nil
+}
+
+// SizeBytes returns the serialized size.
+func (s *KMV) SizeBytes() int { return 1 + 4 + 8 + 4 + 8*len(s.vals) }
+
+// MarshalBinary encodes the sketch.
+func (s *KMV) MarshalBinary() ([]byte, error) {
+	w := &writer{buf: make([]byte, 0, s.SizeBytes())}
+	w.u8(tagKMV)
+	w.u32(uint32(s.k))
+	w.u64(s.seed)
+	w.u32(uint32(len(s.vals)))
+	sorted := make([]uint64, len(s.vals))
+	copy(sorted, s.vals)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, v := range sorted {
+		w.u64(v)
+	}
+	return w.buf, nil
+}
+
+// UnmarshalBinary decodes a sketch produced by MarshalBinary.
+func (s *KMV) UnmarshalBinary(data []byte) error {
+	r := &reader{buf: data}
+	if r.u8() != tagKMV {
+		return fmt.Errorf("%w: not a KMV sketch", ErrCorrupt)
+	}
+	k := int(r.u32())
+	seed := r.u64()
+	n := int(r.u32())
+	if r.err != nil {
+		return r.err
+	}
+	if k < 2 || n > k {
+		return fmt.Errorf("%w: KMV header k=%d n=%d", ErrCorrupt, k, n)
+	}
+	tmp := NewKMV(k, seed)
+	for i := 0; i < n; i++ {
+		tmp.addHash(r.u64())
+	}
+	if err := r.done(); err != nil {
+		return err
+	}
+	*s = *tmp
+	return nil
+}

@@ -1,0 +1,134 @@
+// Package sketch implements the streaming summaries the paper's upper
+// bounds consume: (1±ε) distinct-count sketches (KMV, HyperLogLog,
+// BJKST) standing in for the optimal F0 sketch of [11] referenced in
+// Section 6, point-frequency sketches (CountMin, CountSketch), and
+// frequency-moment sketches (fast-AMS F2, Indyk p-stable F_p for
+// 0 < p ≤ 2). Every sketch is deterministic given its seed, mergeable
+// where the algorithm admits it, and binary-serializable so the
+// communication experiments of Section 3.3 can measure message sizes
+// in bytes.
+//
+// Items are 64-bit fingerprints of patterns (hashing.Fingerprint64);
+// the collision probability is negligible against all error budgets.
+package sketch
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// DistinctEstimator is a sketch approximating F0 = ‖f‖₀.
+type DistinctEstimator interface {
+	Add(item uint64)
+	// Estimate returns the approximate number of distinct items.
+	Estimate() float64
+	// SizeBytes returns the serialized size, the space the paper's
+	// bounds are stated in.
+	SizeBytes() int
+}
+
+// FrequencyEstimator is a sketch approximating point frequencies f_i.
+type FrequencyEstimator interface {
+	AddCount(item uint64, count int64)
+	// EstimateCount returns the approximate frequency of item.
+	EstimateCount(item uint64) float64
+	SizeBytes() int
+}
+
+// MomentEstimator is a sketch approximating a frequency moment F_p.
+type MomentEstimator interface {
+	AddCount(item uint64, count int64)
+	// EstimateMoment returns the approximate F_p value.
+	EstimateMoment() float64
+	SizeBytes() int
+}
+
+// ErrIncompatible is returned by Merge when two sketches were built
+// with different parameters or seeds.
+var ErrIncompatible = errors.New("sketch: incompatible sketches")
+
+// ErrCorrupt is returned when deserializing malformed bytes.
+var ErrCorrupt = errors.New("sketch: corrupt serialized data")
+
+// writer accumulates a binary encoding; all sketches use little-endian
+// fixed-width fields with a leading format tag.
+type writer struct {
+	buf []byte
+}
+
+func (w *writer) u8(v uint8)   { w.buf = append(w.buf, v) }
+func (w *writer) u32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *writer) u64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+func (w *writer) i64(v int64)  { w.u64(uint64(v)) }
+func (w *writer) f64(v float64) {
+	w.u64(math.Float64bits(v))
+}
+
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) ensure(n int) bool {
+	if r.err != nil {
+		return false
+	}
+	if r.off+n > len(r.buf) {
+		r.err = ErrCorrupt
+		return false
+	}
+	return true
+}
+
+func (r *reader) u8() uint8 {
+	if !r.ensure(1) {
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if !r.ensure(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if !r.ensure(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) i64() int64   { return int64(r.u64()) }
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+func (r *reader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.buf) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(r.buf)-r.off)
+	}
+	return nil
+}
+
+// Format tags for serialized sketches.
+const (
+	tagKMV uint8 = iota + 1
+	tagHLL
+	tagBJKST
+	tagCountMin
+	tagCountSketch
+	tagAMS
+	tagStable
+)

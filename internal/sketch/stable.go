@@ -1,0 +1,171 @@
+package sketch
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/rng"
+)
+
+// Stable is Indyk's p-stable sketch for F_p, 0 < p ≤ 2: reps counters
+// S_j = Σ_i f_i · X_{i,j}, with X_{i,j} independent standard
+// symmetric p-stable variates derived deterministically from
+// (seed, item, j) via the Chambers–Mallows–Stuck method. By
+// p-stability, S_j is distributed as ‖f‖_p · X for a fresh stable X,
+// so median(|S_j|) / median(|X|) estimates ‖f‖_p, and raising to the
+// p-th power gives F_p. This is the (1±ε) F_p sketch the Algorithm 1
+// upper bound (Theorem 6.5) instantiates for 0 < p ≤ 2.
+type Stable struct {
+	p    float64
+	reps int
+	seed uint64
+	sums []float64
+}
+
+// NewStable returns a p-stable sketch with the given repetition count;
+// reps = O(1/ε²) gives a (1±ε) estimate with constant probability.
+func NewStable(p float64, reps int, seed uint64) *Stable {
+	if p <= 0 || p > 2 {
+		panic("sketch: stability parameter outside (0, 2]")
+	}
+	if reps < 3 {
+		panic("sketch: stable sketch needs at least 3 repetitions")
+	}
+	return &Stable{p: p, reps: reps, seed: seed, sums: make([]float64, reps)}
+}
+
+// StableForEpsilon sizes the sketch for relative error ε on ‖f‖_p.
+func StableForEpsilon(p, eps float64, seed uint64) *Stable {
+	if eps <= 0 || eps >= 1 {
+		panic("sketch: epsilon outside (0,1)")
+	}
+	return NewStable(p, int(6/(eps*eps))+3, seed)
+}
+
+// P returns the moment order p.
+func (s *Stable) P() float64 { return s.p }
+
+// Reps returns the repetition count.
+func (s *Stable) Reps() int { return s.reps }
+
+// variate returns the deterministic p-stable X_{item,j}.
+func (s *Stable) variate(item uint64, j int) float64 {
+	src := rng.New(s.seed ^ rng.Mix64(item) ^ rng.Mix64(uint64(j)*0x9e3779b97f4a7c15+1))
+	return src.Stable(s.p)
+}
+
+// AddCount adds count occurrences of item (negative counts allowed:
+// the sketch is linear).
+func (s *Stable) AddCount(item uint64, count int64) {
+	for j := range s.sums {
+		s.sums[j] += float64(count) * s.variate(item, j)
+	}
+}
+
+// Add observes a single occurrence of item.
+func (s *Stable) Add(item uint64) { s.AddCount(item, 1) }
+
+// EstimateNorm returns the estimate of ‖f‖_p.
+func (s *Stable) EstimateNorm() float64 {
+	abs := make([]float64, s.reps)
+	for j, v := range s.sums {
+		abs[j] = math.Abs(v)
+	}
+	sort.Float64s(abs)
+	var med float64
+	if s.reps%2 == 1 {
+		med = abs[s.reps/2]
+	} else {
+		med = (abs[s.reps/2-1] + abs[s.reps/2]) / 2
+	}
+	return med / stableAbsMedian(s.p)
+}
+
+// EstimateMoment returns the estimate of F_p = ‖f‖_p^p.
+func (s *Stable) EstimateMoment() float64 {
+	return math.Pow(s.EstimateNorm(), s.p)
+}
+
+// Merge adds another Stable sketch counter-wise.
+func (s *Stable) Merge(o *Stable) error {
+	if o.p != s.p || o.reps != s.reps || o.seed != s.seed {
+		return fmt.Errorf("%w: stable sketch p/reps/seed mismatch", ErrIncompatible)
+	}
+	for i, v := range o.sums {
+		s.sums[i] += v
+	}
+	return nil
+}
+
+// SizeBytes returns the serialized size.
+func (s *Stable) SizeBytes() int { return 1 + 8 + 4 + 8 + 8*len(s.sums) }
+
+// MarshalBinary encodes the sketch.
+func (s *Stable) MarshalBinary() ([]byte, error) {
+	w := &writer{buf: make([]byte, 0, s.SizeBytes())}
+	w.u8(tagStable)
+	w.f64(s.p)
+	w.u32(uint32(s.reps))
+	w.u64(s.seed)
+	for _, v := range s.sums {
+		w.f64(v)
+	}
+	return w.buf, nil
+}
+
+// UnmarshalBinary decodes a sketch produced by MarshalBinary.
+func (s *Stable) UnmarshalBinary(data []byte) error {
+	r := &reader{buf: data}
+	if r.u8() != tagStable {
+		return fmt.Errorf("%w: not a stable sketch", ErrCorrupt)
+	}
+	p := r.f64()
+	reps := int(r.u32())
+	seed := r.u64()
+	if r.err != nil {
+		return r.err
+	}
+	if p <= 0 || p > 2 || reps < 3 || reps > 1<<24 {
+		return fmt.Errorf("%w: stable sketch header", ErrCorrupt)
+	}
+	tmp := NewStable(p, reps, seed)
+	for i := range tmp.sums {
+		tmp.sums[i] = r.f64()
+	}
+	if err := r.done(); err != nil {
+		return err
+	}
+	*s = *tmp
+	return nil
+}
+
+var (
+	stableMedianMu    sync.Mutex
+	stableMedianCache = map[float64]float64{
+		1: 1, // median |Cauchy| = tan(π/4)
+	}
+)
+
+// stableAbsMedian returns the median of |X| for X standard symmetric
+// p-stable, estimated once per p by a deterministic Monte-Carlo run
+// (fixed seed, 200001 samples ⇒ the scaling constant is stable to
+// ~0.3%, well inside every ε used by the experiments).
+func stableAbsMedian(p float64) float64 {
+	stableMedianMu.Lock()
+	defer stableMedianMu.Unlock()
+	if v, ok := stableMedianCache[p]; ok {
+		return v
+	}
+	const samples = 200001
+	src := rng.New(0x5eedc0de ^ math.Float64bits(p))
+	xs := make([]float64, samples)
+	for i := range xs {
+		xs[i] = math.Abs(src.Stable(p))
+	}
+	sort.Float64s(xs)
+	v := xs[samples/2]
+	stableMedianCache[p] = v
+	return v
+}

@@ -1,0 +1,130 @@
+package sketch
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// stableTruth computes exact ||f||_p^p for a frequency map.
+func stableTruth(freqs map[uint64]int64, p float64) float64 {
+	s := 0.0
+	for _, c := range freqs {
+		s += math.Pow(float64(c), p)
+	}
+	return s
+}
+
+func TestStableNormEstimates(t *testing.T) {
+	freqs := zipfStream(500, 40000, 51)
+	for _, p := range []float64{0.5, 1.0, 1.5, 2.0} {
+		s := NewStable(p, 400, 53)
+		for item, c := range freqs {
+			s.AddCount(item, c)
+		}
+		truth := stableTruth(freqs, p)
+		got := s.EstimateMoment()
+		if math.Abs(got-truth)/truth > 0.3 {
+			t.Fatalf("p=%v: moment %v, truth %v", p, got, truth)
+		}
+		normTruth := math.Pow(truth, 1/p)
+		if gotN := s.EstimateNorm(); math.Abs(gotN-normTruth)/normTruth > 0.15 {
+			t.Fatalf("p=%v: norm %v, truth %v", p, gotN, normTruth)
+		}
+	}
+}
+
+func TestStableLinearity(t *testing.T) {
+	// Adding then removing an item must cancel exactly.
+	s := NewStable(1.5, 50, 57)
+	s.AddCount(99, 1000)
+	s.AddCount(42, 7)
+	s.AddCount(99, -1000)
+	only := NewStable(1.5, 50, 57)
+	only.AddCount(42, 7)
+	if math.Abs(s.EstimateNorm()-only.EstimateNorm()) > 1e-6 {
+		t.Fatalf("cancellation failed: %v vs %v", s.EstimateNorm(), only.EstimateNorm())
+	}
+}
+
+func TestStableMerge(t *testing.T) {
+	a := NewStable(0.5, 60, 59)
+	b := NewStable(0.5, 60, 59)
+	whole := NewStable(0.5, 60, 59)
+	for i := uint64(0); i < 500; i++ {
+		whole.AddCount(i, 3)
+		if i%2 == 0 {
+			a.AddCount(i, 3)
+		} else {
+			b.AddCount(i, 3)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.EstimateNorm()-whole.EstimateNorm()) > 1e-9 {
+		t.Fatal("merged stable sketch must equal whole-stream sketch")
+	}
+	if err := a.Merge(NewStable(0.6, 60, 59)); !errors.Is(err, ErrIncompatible) {
+		t.Fatalf("p mismatch: %v", err)
+	}
+}
+
+func TestStableSerializationRoundTrip(t *testing.T) {
+	s := NewStable(1.2, 40, 61)
+	src := rng.New(63)
+	for i := 0; i < 200; i++ {
+		s.AddCount(src.Uint64(), int64(src.Intn(10))+1)
+	}
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Stable
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if back.EstimateNorm() != s.EstimateNorm() || back.P() != 1.2 || back.Reps() != 40 {
+		t.Fatal("serialization round trip drifted")
+	}
+	if err := back.UnmarshalBinary(data[:5]); err == nil {
+		t.Fatal("truncated payload must error")
+	}
+}
+
+func TestStablePanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewStable(0, 10, 1) },
+		func() { NewStable(2.5, 10, 1) },
+		func() { NewStable(1, 2, 1) },
+		func() { StableForEpsilon(1, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestStableAbsMedianCached(t *testing.T) {
+	// p = 1 is the analytic value 1 (median |Cauchy|).
+	if v := stableAbsMedian(1); v != 1 {
+		t.Fatalf("median |Cauchy| = %v", v)
+	}
+	// Repeated calls hit the cache and must agree exactly.
+	a := stableAbsMedian(0.7)
+	b := stableAbsMedian(0.7)
+	if a != b {
+		t.Fatal("cache must be deterministic")
+	}
+	// p = 2: |N(0,2)| has median sqrt(2)*z_{0.75} ≈ 0.9539.
+	if v := stableAbsMedian(2); math.Abs(v-0.9539) > 0.01 {
+		t.Fatalf("median |stable_2| = %v, want ≈0.954", v)
+	}
+}

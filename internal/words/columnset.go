@@ -1,0 +1,226 @@
+package words
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// ColumnSet is a subset C ⊆ [d] of column indices, the projection
+// query of the paper. It is immutable after construction: all methods
+// treat the receiver as read-only, and constructors copy their input.
+type ColumnSet struct {
+	d    int
+	cols []int // sorted, unique, each in [0, d)
+}
+
+// NewColumnSet builds the column set {cols...} over dimension d.
+// Duplicates are merged; out-of-range indices are an error.
+func NewColumnSet(d int, cols ...int) (ColumnSet, error) {
+	if d < 0 {
+		return ColumnSet{}, fmt.Errorf("words: negative dimension %d", d)
+	}
+	sorted := make([]int, len(cols))
+	copy(sorted, cols)
+	sort.Ints(sorted)
+	out := sorted[:0]
+	prev := -1
+	for _, c := range sorted {
+		if c < 0 || c >= d {
+			return ColumnSet{}, fmt.Errorf("words: column %d outside [0, %d)", c, d)
+		}
+		if c != prev {
+			out = append(out, c)
+			prev = c
+		}
+	}
+	return ColumnSet{d: d, cols: out}, nil
+}
+
+// MustColumnSet is NewColumnSet that panics on error; intended for
+// tests and for literals known to be valid.
+func MustColumnSet(d int, cols ...int) ColumnSet {
+	c, err := NewColumnSet(d, cols...)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// ColumnSetFromMask builds the column set whose members are the set
+// bits of mask, over dimension d <= 64.
+func ColumnSetFromMask(mask uint64, d int) (ColumnSet, error) {
+	if d < 0 || d > 64 {
+		return ColumnSet{}, fmt.Errorf("words: mask dimension %d outside [0, 64]", d)
+	}
+	if d < 64 && mask>>uint(d) != 0 {
+		return ColumnSet{}, fmt.Errorf("words: mask %#x has bits outside [%d]", mask, d)
+	}
+	cols := make([]int, 0, bits.OnesCount64(mask))
+	for m := mask; m != 0; m &= m - 1 {
+		cols = append(cols, bits.TrailingZeros64(m))
+	}
+	return ColumnSet{d: d, cols: cols}, nil
+}
+
+// FullColumnSet returns the set of all d columns.
+func FullColumnSet(d int) ColumnSet {
+	cols := make([]int, d)
+	for i := range cols {
+		cols[i] = i
+	}
+	return ColumnSet{d: d, cols: cols}
+}
+
+// Dim returns the ambient dimension d.
+func (c ColumnSet) Dim() int { return c.d }
+
+// Len returns |C|.
+func (c ColumnSet) Len() int { return len(c.cols) }
+
+// Columns returns a copy of the sorted member columns.
+func (c ColumnSet) Columns() []int {
+	out := make([]int, len(c.cols))
+	copy(out, c.cols)
+	return out
+}
+
+// Contains reports whether column j is a member of C.
+func (c ColumnSet) Contains(j int) bool {
+	i := sort.SearchInts(c.cols, j)
+	return i < len(c.cols) && c.cols[i] == j
+}
+
+// Mask returns C as a bitmask; it panics if d > 64.
+func (c ColumnSet) Mask() uint64 {
+	if c.d > 64 {
+		panic("words: Mask requires d <= 64")
+	}
+	var m uint64
+	for _, j := range c.cols {
+		m |= 1 << uint(j)
+	}
+	return m
+}
+
+// Complement returns [d] \ C.
+func (c ColumnSet) Complement() ColumnSet {
+	out := make([]int, 0, c.d-len(c.cols))
+	k := 0
+	for j := 0; j < c.d; j++ {
+		if k < len(c.cols) && c.cols[k] == j {
+			k++
+			continue
+		}
+		out = append(out, j)
+	}
+	return ColumnSet{d: c.d, cols: out}
+}
+
+// Union returns C ∪ o. Both sets must share the same dimension.
+func (c ColumnSet) Union(o ColumnSet) ColumnSet {
+	c.mustSameDim(o)
+	out := make([]int, 0, len(c.cols)+len(o.cols))
+	i, j := 0, 0
+	for i < len(c.cols) && j < len(o.cols) {
+		switch {
+		case c.cols[i] < o.cols[j]:
+			out = append(out, c.cols[i])
+			i++
+		case c.cols[i] > o.cols[j]:
+			out = append(out, o.cols[j])
+			j++
+		default:
+			out = append(out, c.cols[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, c.cols[i:]...)
+	out = append(out, o.cols[j:]...)
+	return ColumnSet{d: c.d, cols: out}
+}
+
+// Intersect returns C ∩ o.
+func (c ColumnSet) Intersect(o ColumnSet) ColumnSet {
+	c.mustSameDim(o)
+	var out []int
+	i, j := 0, 0
+	for i < len(c.cols) && j < len(o.cols) {
+		switch {
+		case c.cols[i] < o.cols[j]:
+			i++
+		case c.cols[i] > o.cols[j]:
+			j++
+		default:
+			out = append(out, c.cols[i])
+			i++
+			j++
+		}
+	}
+	return ColumnSet{d: c.d, cols: out}
+}
+
+// Diff returns C \ o.
+func (c ColumnSet) Diff(o ColumnSet) ColumnSet {
+	c.mustSameDim(o)
+	var out []int
+	j := 0
+	for _, x := range c.cols {
+		for j < len(o.cols) && o.cols[j] < x {
+			j++
+		}
+		if j < len(o.cols) && o.cols[j] == x {
+			continue
+		}
+		out = append(out, x)
+	}
+	return ColumnSet{d: c.d, cols: out}
+}
+
+// SymDiffSize returns |C Δ o|, the measure the α-net neighbour bound
+// of Section 6 is stated in.
+func (c ColumnSet) SymDiffSize(o ColumnSet) int {
+	inter := c.Intersect(o).Len()
+	return c.Len() + o.Len() - 2*inter
+}
+
+// Equal reports whether the two sets have identical dimension and
+// members.
+func (c ColumnSet) Equal(o ColumnSet) bool {
+	if c.d != o.d || len(c.cols) != len(o.cols) {
+		return false
+	}
+	for i := range c.cols {
+		if c.cols[i] != o.cols[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsSubsetOf reports whether C ⊆ o.
+func (c ColumnSet) IsSubsetOf(o ColumnSet) bool {
+	return c.Intersect(o).Len() == c.Len()
+}
+
+func (c ColumnSet) mustSameDim(o ColumnSet) {
+	if c.d != o.d {
+		panic(fmt.Sprintf("words: dimension mismatch %d vs %d", c.d, o.d))
+	}
+}
+
+// String renders the set like "{0,2,5}/8" where 8 is the dimension.
+func (c ColumnSet) String() string {
+	b := make([]byte, 0, 2+3*len(c.cols))
+	b = append(b, '{')
+	for i, j := range c.cols {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = appendUint(b, uint64(j))
+	}
+	b = append(b, '}', '/')
+	b = appendUint(b, uint64(c.d))
+	return string(b)
+}

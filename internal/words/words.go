@@ -1,0 +1,233 @@
+// Package words models the data items of projected frequency estimation:
+// rows of an n×d array over alphabet [Q] = {0, 1, ..., Q-1}, column
+// subsets C ⊆ [d], projections A^C, and the canonical index function
+// e(·) of Remark 1 in the paper that maps Q-ary words to positions of
+// the frequency vector f(A, C).
+//
+// Words are stored as []uint16 symbol slices, supporting alphabets up
+// to Q = 65536, which covers every parameter regime used by the paper
+// (the corollaries in Section 4 take Q as large as poly(d)).
+package words
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// MaxAlphabet is the largest supported alphabet size Q.
+const MaxAlphabet = 1 << 16
+
+// Word is a row of the input array: a vector of symbols over [Q].
+// The alphabet size Q is carried by the containing Table or stream,
+// not by the word itself.
+type Word []uint16
+
+// Clone returns a copy of w that shares no storage with it.
+func (w Word) Clone() Word {
+	c := make(Word, len(w))
+	copy(c, w)
+	return c
+}
+
+// Equal reports whether w and v have the same length and symbols.
+func (w Word) Equal(v Word) bool {
+	if len(w) != len(v) {
+		return false
+	}
+	for i := range w {
+		if w[i] != v[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Support returns the sorted positions i with w[i] != 0, the set
+// supp(w) from Definition 3.1.
+func (w Word) Support() []int {
+	var s []int
+	for i, x := range w {
+		if x != 0 {
+			s = append(s, i)
+		}
+	}
+	return s
+}
+
+// Weight returns |supp(w)|, the Hamming weight of w.
+func (w Word) Weight() int {
+	n := 0
+	for _, x := range w {
+		if x != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// SupportMask returns supp(w) as a bitmask. It panics if len(w) > 64.
+func (w Word) SupportMask() uint64 {
+	if len(w) > 64 {
+		panic("words: SupportMask requires d <= 64")
+	}
+	var m uint64
+	for i, x := range w {
+		if x != 0 {
+			m |= 1 << uint(i)
+		}
+	}
+	return m
+}
+
+// IsBinary reports whether every symbol of w is 0 or 1.
+func (w Word) IsBinary() bool {
+	for _, x := range w {
+		if x > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the word compactly, e.g. "(1 0 3)".
+func (w Word) String() string {
+	b := make([]byte, 0, 2+3*len(w))
+	b = append(b, '(')
+	for i, x := range w {
+		if i > 0 {
+			b = append(b, ' ')
+		}
+		b = appendUint(b, uint64(x))
+	}
+	b = append(b, ')')
+	return string(b)
+}
+
+func appendUint(b []byte, x uint64) []byte {
+	if x == 0 {
+		return append(b, '0')
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for x > 0 {
+		i--
+		tmp[i] = byte('0' + x%10)
+		x /= 10
+	}
+	return append(b, tmp[i:]...)
+}
+
+// FromMask builds a binary word of length d whose support is the set
+// bits of mask. It panics if d > 64 or mask has bits at or above d.
+func FromMask(mask uint64, d int) Word {
+	if d > 64 {
+		panic("words: FromMask requires d <= 64")
+	}
+	if d < 64 && mask>>uint(d) != 0 {
+		panic("words: mask has bits outside [d]")
+	}
+	w := make(Word, d)
+	for mask != 0 {
+		i := bits.TrailingZeros64(mask)
+		w[i] = 1
+		mask &= mask - 1
+	}
+	return w
+}
+
+// Project returns the restriction of w to the columns of c, in the
+// (ascending) column order of c: the row A^C_i of the paper.
+// The result is freshly allocated.
+func (w Word) Project(c ColumnSet) Word {
+	out := make(Word, len(c.cols))
+	for i, j := range c.cols {
+		out[i] = w[j]
+	}
+	return out
+}
+
+// ProjectInto writes the restriction of w to c into dst, which must
+// have length c.Len(). It avoids allocation in hot loops.
+func (w Word) ProjectInto(c ColumnSet, dst Word) {
+	for i, j := range c.cols {
+		dst[i] = w[j]
+	}
+}
+
+// AppendKey appends a compact byte encoding of w's restriction to c
+// onto buf and returns the extended slice. Two words have equal keys
+// iff their projections onto c are equal, so string(key) is a valid
+// map key for pattern counting.
+func AppendKey(buf []byte, w Word, c ColumnSet) []byte {
+	for _, j := range c.cols {
+		x := w[j]
+		buf = append(buf, byte(x), byte(x>>8))
+	}
+	return buf
+}
+
+// KeyToWord decodes a key produced by AppendKey back into the
+// projected word (length = len(key)/2).
+func KeyToWord(key string) Word {
+	if len(key)%2 != 0 {
+		panic("words: malformed pattern key")
+	}
+	w := make(Word, len(key)/2)
+	for i := range w {
+		w[i] = uint16(key[2*i]) | uint16(key[2*i+1])<<8
+	}
+	return w
+}
+
+// ErrIndexOverflow is returned by Index when Q^len(w) exceeds uint64.
+var ErrIndexOverflow = errors.New("words: Q^|C| does not fit in uint64")
+
+// Index implements the canonical index function e(w) of Remark 1: the
+// bijection from [Q]^|C| to {0, ..., Q^|C|-1} that reads w as a
+// base-Q numeral (most significant symbol first).
+func Index(w Word, q int) (uint64, error) {
+	if q < 2 || q > MaxAlphabet {
+		return 0, fmt.Errorf("words: alphabet size %d out of range [2, %d]", q, MaxAlphabet)
+	}
+	var idx uint64
+	for _, x := range w {
+		if int(x) >= q {
+			return 0, fmt.Errorf("words: symbol %d outside alphabet [%d]", x, q)
+		}
+		hi, lo := bits.Mul64(idx, uint64(q))
+		if hi != 0 {
+			return 0, ErrIndexOverflow
+		}
+		idx, lo = lo+uint64(x), 0
+		_ = lo
+		if idx < uint64(x) {
+			return 0, ErrIndexOverflow
+		}
+	}
+	return idx, nil
+}
+
+// WordAt inverts Index: it returns the word of length n over [q] whose
+// canonical index is idx. It panics if idx >= q^n.
+func WordAt(idx uint64, q, n int) Word {
+	w := make(Word, n)
+	for i := n - 1; i >= 0; i-- {
+		w[i] = uint16(idx % uint64(q))
+		idx /= uint64(q)
+	}
+	if idx != 0 {
+		panic("words: index out of range for word length")
+	}
+	return w
+}
+
+// Validate checks that every symbol of w lies in [q].
+func (w Word) Validate(q int) error {
+	for i, x := range w {
+		if int(x) >= q {
+			return fmt.Errorf("words: symbol %d at position %d outside alphabet [%d]", x, i, q)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,7 @@
+package workload
+
+import "math"
+
+// mathPow is math.Pow, isolated so synthetic.go's hot loops read
+// without a package-qualified call chain in the generator closures.
+func mathPow(x, y float64) float64 { return math.Pow(x, y) }

@@ -1,0 +1,138 @@
+// Package projfreq is the public API of the projected frequency
+// estimation library, a faithful implementation of "Subspace
+// Exploration: Bounds on Projected Frequency Estimation" (Cormode,
+// Dickens, Woodruff; PODS 2021).
+//
+// The model: an n×d array A over alphabet [Q] is observed as a stream
+// of rows; only afterwards a column subset C ⊆ [d] is revealed, and
+// queries are functions of the frequency vector f(A, C) of the
+// projected rows — distinct counts (F0), frequency moments (Fp),
+// point frequencies, heavy hitters, and ℓp samples.
+//
+// Build a summary, stream rows into it, then query:
+//
+//	sum := projfreq.NewSampleSummary(d, q, 0.05, 0.01, seed)
+//	for _, row := range rows {
+//		sum.Observe(row)
+//	}
+//	c, _ := projfreq.NewColumnSet(d, 0, 3, 7)
+//	est, _ := sum.Frequency(c, pattern)
+//
+// Three summaries with different guarantees are provided, mirroring
+// the paper's upper bounds and baselines:
+//
+//   - NewExactSummary: Θ(nd) space, every query exact (Section 3.1's
+//     naïve baseline and the experiment ground truth).
+//   - NewSampleSummary: O(ε⁻² log 1/δ) rows, point frequencies within
+//     ε‖f‖₁ and heavy hitters for 0 < p ≤ 1 (Theorem 5.1 /
+//     Corollary 5.2).
+//   - NewNetSummary: Algorithm 1 over an α-net — F0/Fp within
+//     β·2^{O(αd)} using 2^{H(1/2−α)d} sketches (Theorem 6.5); the
+//     paper's 2^Ω(d) lower bounds (Sections 4–5) show the exponential
+//     dependence is unavoidable.
+//
+// Everything is deterministic given the seeds, uses only the standard
+// library, and streams in one pass.
+package projfreq
+
+import (
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/words"
+)
+
+// Word is a row of the input array: symbols over [Q].
+type Word = words.Word
+
+// ColumnSet is a projection query C ⊆ [d].
+type ColumnSet = words.ColumnSet
+
+// RowSource is a resettable stream of rows.
+type RowSource = words.RowSource
+
+// Table is an in-memory n×d array.
+type Table = words.Table
+
+// Summary is a space-bounded digest answering projected queries.
+type Summary = core.Summary
+
+// The query capability interfaces; summaries implement the subset the
+// paper's bounds allow.
+type (
+	// F0Querier answers projected distinct-count queries.
+	F0Querier = core.F0Querier
+	// FpQuerier answers projected moment queries.
+	FpQuerier = core.FpQuerier
+	// FrequencyQuerier answers projected point-frequency queries.
+	FrequencyQuerier = core.FrequencyQuerier
+	// HeavyHitterQuerier answers projected heavy-hitter queries.
+	HeavyHitterQuerier = core.HeavyHitterQuerier
+	// LpSampleQuerier draws from the projected ℓp distribution.
+	LpSampleQuerier = core.LpSampleQuerier
+)
+
+// HeavyHitter is a reported heavy pattern.
+type HeavyHitter = core.HeavyHitter
+
+// LpSample is one ℓp draw with its probability estimate.
+type LpSample = core.LpSample
+
+// NetConfig configures the α-net summary.
+type NetConfig = core.NetConfig
+
+// F0SketchKind selects the distinct-count sketch of the net summary.
+type F0SketchKind = core.F0SketchKind
+
+// The supported F0 sketch kinds.
+const (
+	F0KMV   = core.F0KMV
+	F0HLL   = core.F0HLL
+	F0BJKST = core.F0BJKST
+)
+
+// ErrUnsupported reports a query class a summary cannot answer.
+var ErrUnsupported = core.ErrUnsupported
+
+// NewColumnSet builds the projection query {cols...} over [d].
+func NewColumnSet(d int, cols ...int) (ColumnSet, error) {
+	return words.NewColumnSet(d, cols...)
+}
+
+// FullColumnSet returns the identity projection over [d].
+func FullColumnSet(d int) ColumnSet { return words.FullColumnSet(d) }
+
+// NewExactSummary returns the Θ(nd) exact baseline.
+func NewExactSummary(d, q int) *core.Exact { return core.NewExact(d, q) }
+
+// NewSampleSummary returns the Theorem 5.1 uniform-sampling summary
+// sized for additive error ε‖f‖₁ with probability 1−δ.
+func NewSampleSummary(d, q int, eps, delta float64, seed uint64) *core.Sample {
+	return core.NewSampleForError(d, q, eps, delta, seed)
+}
+
+// NewSampleSummarySize returns the sampling summary with an explicit
+// sample size t.
+func NewSampleSummarySize(d, q, t int, seed uint64) *core.Sample {
+	return core.NewSample(d, q, t, seed)
+}
+
+// NewNetSummary returns the Algorithm 1 summary (Theorem 6.5).
+func NewNetSummary(d, q int, cfg NetConfig) (*core.Net, error) {
+	return core.NewNet(d, q, cfg)
+}
+
+// RegisteredConfig configures the registered-subsets summary.
+type RegisteredConfig = core.RegisteredConfig
+
+// NewRegisteredSummary returns the summary for the easy regime where
+// the query subsets are known before the data arrives (the
+// KHyperLogLog deployment model the paper's introduction contrasts
+// with): (1±ε) F0 plus KHLL uniqueness per registered subset, in
+// space linear in the number of subsets.
+func NewRegisteredSummary(d, q int, subsets []ColumnSet, cfg RegisteredConfig) (*core.Registered, error) {
+	return core.NewRegistered(d, q, subsets, cfg)
+}
+
+// NewRand returns the library's deterministic random source, needed
+// by sampling queries.
+func NewRand(seed uint64) *rng.Source { return rng.New(seed) }
