@@ -9,10 +9,12 @@ package projfreq
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"testing"
 
 	"repro/internal/anet"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/freq"
 	"repro/internal/hashing"
@@ -102,7 +104,10 @@ func BenchmarkFigure1_EmpiricalNetBuild(b *testing.B) {
 // --- E3: Theorem 5.1 sampling — stream ingestion and query cost.
 
 func BenchmarkSampleObserve(b *testing.B) {
-	s := core.NewSampleForError(16, 4, 0.05, 0.01, 5)
+	s, err := core.NewSampleForError(16, 4, 0.05, 0.01, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
 	w := make(words.Word, 16)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -113,7 +118,10 @@ func BenchmarkSampleObserve(b *testing.B) {
 
 func BenchmarkSampleFrequencyQuery(b *testing.B) {
 	src := workload.ZipfPatterns(16, 4, 50000, 100, 1.2, 7)
-	s := core.NewSampleForError(16, 4, 0.05, 0.01, 5)
+	s, err := core.NewSampleForError(16, 4, 0.05, 0.01, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
 	words.Drain(src, s.Observe)
 	c := words.MustColumnSet(16, 2, 5, 8, 11)
 	pattern := make(words.Word, 4)
@@ -364,6 +372,81 @@ func BenchmarkExactF0Query(b *testing.B) {
 		}
 	}
 }
+
+// --- Sharded engine: ingestion throughput across shard counts and
+// batched query latency. The Net summary is the heavy per-row update
+// (one sketch add per net member), so it is where parallel ingest
+// pays; the final Flush folds the merge cost into the timed region.
+
+func benchShardedObserve(b *testing.B, shards int) {
+	cfg := core.NetConfig{Alpha: 0.3, Epsilon: 0.25, Seed: 19}
+	eng, err := engine.NewSharded(func(int) (core.Summary, error) {
+		return core.NewNet(12, 2, cfg)
+	}, engine.Config{Shards: shards, Queue: 1024})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	src := rng.New(21)
+	w := make(words.Word, 12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range w {
+			w[j] = uint16(src.Intn(2))
+		}
+		eng.Observe(w)
+	}
+	if _, err := eng.Flush(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkShardedObserve_1(b *testing.B) { benchShardedObserve(b, 1) }
+func BenchmarkShardedObserve_2(b *testing.B) { benchShardedObserve(b, 2) }
+func BenchmarkShardedObserve_4(b *testing.B) { benchShardedObserve(b, 4) }
+func BenchmarkShardedObserve_NumCPU(b *testing.B) {
+	benchShardedObserve(b, runtime.GOMAXPROCS(0))
+}
+
+// batchQueries builds a 32-query mixed batch over distinct projections.
+func batchQueries() []engine.Query {
+	var qs []engine.Query
+	for i := 0; i < 16; i++ {
+		c := words.MustColumnSet(12, i%11, i%11+1)
+		qs = append(qs, engine.Query{Kind: engine.KindF0, Cols: c})
+		qs = append(qs, engine.Query{Kind: engine.KindFp, Cols: c, P: 2})
+	}
+	return qs
+}
+
+func benchShardedQueryBatch(b *testing.B, invalidate bool) {
+	eng, err := engine.NewSharded(func(int) (core.Summary, error) {
+		return core.NewExact(12, 2), nil
+	}, engine.Config{Shards: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	words.Drain(workload.Uniform(12, 2, 20000, 33), eng.Observe)
+	qs := batchQueries()
+	eng.QueryBatch(qs) // build the first snapshot outside the timer
+	row := make(words.Word, 12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if invalidate {
+			eng.Observe(row) // forces re-merge + cold cache
+		}
+		res := eng.QueryBatch(qs)
+		if res[0].Err != nil {
+			b.Fatal(res[0].Err)
+		}
+	}
+}
+
+func BenchmarkShardedQueryBatch_Warm(b *testing.B) { benchShardedQueryBatch(b, false) }
+func BenchmarkShardedQueryBatch_Cold(b *testing.B) { benchShardedQueryBatch(b, true) }
 
 // BenchmarkExperimentQuick runs each experiment driver end-to-end in
 // quick mode — the "regenerate everything" cost.

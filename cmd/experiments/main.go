@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -31,31 +32,41 @@ func main() {
 		return
 	}
 
-	ids := experiments.IDs()
+	var ids []string
 	if *run != "" {
 		ids = strings.Split(*run, ",")
 	}
-	opt := experiments.Options{Seed: *seed, Quick: *quick}
+	if err := runAll(ids, experiments.Options{Seed: *seed, Quick: *quick}, *csv, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+// runAll executes the selected experiments (all of them when ids is
+// empty) and renders each report to out.
+func runAll(ids []string, opt experiments.Options, csv bool, out io.Writer) error {
+	if len(ids) == 0 {
+		ids = experiments.IDs()
+	}
 	for _, id := range ids {
-		rep, err := experiments.Run(strings.TrimSpace(id), opt)
+		id = strings.TrimSpace(id)
+		rep, err := experiments.Run(id, opt)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %w", id, err)
 		}
-		if *csv {
+		if csv {
 			for _, t := range rep.Tables {
-				fmt.Printf("# %s / %s\n", rep.ID, t.Name)
-				if err := t.WriteCSV(os.Stdout); err != nil {
-					fmt.Fprintln(os.Stderr, err)
-					os.Exit(1)
+				fmt.Fprintf(out, "# %s / %s\n", rep.ID, t.Name)
+				if err := t.WriteCSV(out); err != nil {
+					return err
 				}
 			}
 			continue
 		}
-		if err := rep.WriteText(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		if err := rep.WriteText(out); err != nil {
+			return err
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 	}
+	return nil
 }

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// TestRunAllQuickSmoke runs one cheap experiment end-to-end in quick
+// mode and checks that a non-empty report reaches the writer.
+func TestRunAllQuickSmoke(t *testing.T) {
+	ids := experiments.IDs()
+	if len(ids) == 0 {
+		t.Fatal("no experiments registered")
+	}
+	var out strings.Builder
+	if err := runAll(ids[:1], experiments.Options{Seed: 1, Quick: true}, false, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() == 0 {
+		t.Fatal("experiment produced no output")
+	}
+}
+
+// TestRunAllCSV exercises the CSV rendering path.
+func TestRunAllCSV(t *testing.T) {
+	ids := experiments.IDs()
+	var out strings.Builder
+	if err := runAll(ids[:1], experiments.Options{Seed: 1, Quick: true}, true, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "#") {
+		t.Fatalf("CSV output missing table headers: %q", out.String())
+	}
+}
+
+// TestRunAllUnknownID must surface the registry error.
+func TestRunAllUnknownID(t *testing.T) {
+	var out strings.Builder
+	if err := runAll([]string{"nope"}, experiments.Options{Quick: true}, false, &out); err == nil {
+		t.Fatal("unknown experiment ID must error")
+	}
+}

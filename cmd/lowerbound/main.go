@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/freq"
@@ -30,15 +31,15 @@ func main() {
 		seed   = flag.Uint64("seed", 1, "random seed")
 	)
 	flag.Parse()
-	if err := run(*d, *k, *q, *tSize, *trials, *reduce, *seed); err != nil {
+	if err := run(*d, *k, *q, *tSize, *trials, *reduce, *seed, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "lowerbound:", err)
 		os.Exit(1)
 	}
 }
 
-func run(d, k, q, tSize, trials, reduce int, seed uint64) error {
+func run(d, k, q, tSize, trials, reduce int, seed uint64, out io.Writer) error {
 	src := rng.New(seed)
-	fmt.Printf("Theorem 4.1 instance: d=%d k=%d Q=%d |T|=%d  (Δ = Q/k = %.3f)\n",
+	fmt.Fprintf(out, "Theorem 4.1 instance: d=%d k=%d Q=%d |T|=%d  (Δ = Q/k = %.3f)\n",
 		d, k, q, tSize, float64(q)/float64(k))
 	var hi, lo float64
 	for trial := 0; trial < trials; trial++ {
@@ -72,13 +73,13 @@ func run(d, k, q, tSize, trials, reduce int, seed uint64) error {
 			} else {
 				lo += f0
 			}
-			fmt.Printf("  trial %d %s: rows=%d F0(A,S)=%.0f  [thresholds: high=%.0f low=%.0f]\n",
+			fmt.Fprintf(out, "  trial %d %s: rows=%d F0(A,S)=%.0f  [thresholds: high=%.0f low=%.0f]\n",
 				trial, label, rows, f0, inst.ThresholdHigh(), inst.ThresholdLow())
 		}
 	}
 	hi /= float64(trials)
 	lo /= float64(trials)
-	fmt.Printf("mean separation: %.2f (theory requires > %.2f to solve Index)\n",
+	fmt.Fprintf(out, "mean separation: %.2f (theory requires > %.2f to solve Index)\n",
 		hi/lo, float64(q)/float64(k))
 	return nil
 }

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke executes one tiny lower-bound construction and checks
+// the report reaches the writer.
+func TestRunSmoke(t *testing.T) {
+	var out strings.Builder
+	if err := run(10, 4, 8, 8, 1, 0, 1, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Theorem 4.1 instance") || !strings.Contains(s, "mean separation") {
+		t.Fatalf("unexpected output: %q", s)
+	}
+}
+
+// TestRunReduced exercises the Corollary 4.4 alphabet-reduction path.
+func TestRunReduced(t *testing.T) {
+	var out strings.Builder
+	if err := run(10, 4, 8, 8, 1, 2, 1, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() == 0 {
+		t.Fatal("reduced run produced no output")
+	}
+}
+
+// TestRunRejectsBadShape: the instance generator must reject k >= d.
+func TestRunRejectsBadShape(t *testing.T) {
+	var out strings.Builder
+	if err := run(10, 10, 8, 8, 1, 0, 1, &out); err == nil {
+		t.Fatal("k >= d must error")
+	}
+}

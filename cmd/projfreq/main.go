@@ -6,12 +6,16 @@
 //
 //	projfreq -data rows.csv -q 4 -summary sample -query 0,2,5 -stats f0,f1,hh
 //	projfreq -demo -summary net -alpha 0.3 -query 0,1,2,3
+//	projfreq -demo -summary exact -shards 8 -query 0,1 -batch "0,1;2,3;0,1"
 //
 // The -demo flag generates a built-in census-like dataset so the tool
-// runs without any input file.
+// runs without any input file. With -shards N ingestion fans out
+// across an N-shard parallel engine; -batch answers a semicolon-
+// separated list of extra F0 projections as one batched query.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +23,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/freq"
 	"repro/internal/rng"
 	"repro/internal/words"
@@ -45,6 +50,8 @@ func run() error {
 		queryStr = flag.String("query", "", "comma-separated column indices (required)")
 		statsStr = flag.String("stats", "f0,f1", "comma-separated stats: f0,f1,f2,hh,freq:<pattern>")
 		phi      = flag.Float64("phi", 0.1, "heavy hitter threshold")
+		shards   = flag.Int("shards", 0, "ingest through an N-shard parallel engine (0 = direct)")
+		batchStr = flag.String("batch", "", "semicolon-separated column lists answered as one F0 query batch (requires -shards)")
 	)
 	flag.Parse()
 
@@ -65,9 +72,34 @@ func run() error {
 		return err
 	}
 
-	sum, err := buildSummary(*kind, d, table.Alphabet(), *eps, *delta, *alpha, *seed)
-	if err != nil {
-		return err
+	if *batchStr != "" && *shards <= 0 {
+		return fmt.Errorf("-batch requires -shards")
+	}
+	var (
+		sum  core.Summary
+		eng  *engine.Sharded
+		err2 error
+	)
+	if *shards > 0 {
+		eng, err2 = engine.NewSharded(func(shard int) (core.Summary, error) {
+			shardSeed := *seed
+			if *kind == "sample" {
+				// Sample shards must draw independently; Net shards
+				// must share hash functions (identical seed).
+				shardSeed += uint64(shard) * 0x9e3779b97f4a7c15
+			}
+			return buildSummary(*kind, d, table.Alphabet(), *eps, *delta, *alpha, shardSeed)
+		}, engine.Config{Shards: *shards})
+		if err2 != nil {
+			return err2
+		}
+		defer eng.Close()
+		sum = eng
+	} else {
+		sum, err2 = buildSummary(*kind, d, table.Alphabet(), *eps, *delta, *alpha, *seed)
+		if err2 != nil {
+			return err2
+		}
 	}
 	src := table.Source()
 	for {
@@ -85,6 +117,42 @@ func run() error {
 		stat = strings.TrimSpace(stat)
 		if err := answer(sum, table, c, stat, *phi, *seed); err != nil {
 			return err
+		}
+	}
+	if *batchStr != "" {
+		return runBatch(eng, d, *batchStr)
+	}
+	return nil
+}
+
+// runBatch answers a semicolon-separated list of F0 projections as
+// one QueryBatch against the sharded engine's merged snapshot.
+func runBatch(eng *engine.Sharded, d int, spec string) error {
+	var queries []engine.Query
+	for _, part := range strings.Split(spec, ";") {
+		cols, err := parseInts(strings.TrimSpace(part))
+		if err != nil {
+			return err
+		}
+		c, err := words.NewColumnSet(d, cols...)
+		if err != nil {
+			return err
+		}
+		queries = append(queries, engine.Query{Kind: engine.KindF0, Cols: c})
+	}
+	fmt.Printf("batch: %d F0 queries in one QueryBatch\n", len(queries))
+	for i, r := range eng.QueryBatch(queries) {
+		switch {
+		case errors.Is(r.Err, core.ErrUnsupported):
+			fmt.Printf("  F0%v: unsupported by this summary\n", queries[i].Cols)
+		case r.Err != nil:
+			return r.Err
+		default:
+			note := ""
+			if r.Cached {
+				note = "  [cached]"
+			}
+			fmt.Printf("  F0%v = %.1f%s\n", queries[i].Cols, r.Value, note)
 		}
 	}
 	return nil
@@ -117,7 +185,7 @@ func buildSummary(kind string, d, q int, eps, delta, alpha float64, seed uint64)
 	case "exact":
 		return core.NewExact(d, q), nil
 	case "sample":
-		return core.NewSampleForError(d, q, eps, delta, seed), nil
+		return core.NewSampleForError(d, q, eps, delta, seed)
 	case "net":
 		return core.NewNet(d, q, core.NetConfig{Alpha: alpha, Epsilon: eps, Moments: []float64{2}, StableReps: 60, Seed: seed})
 	default:
@@ -125,47 +193,65 @@ func buildSummary(kind string, d, q int, eps, delta, alpha float64, seed uint64)
 	}
 }
 
+// supported classifies a query error: ok means the answer may be
+// printed, fatal aborts the run; (!ok, nil) falls through to the
+// stat's "unsupported" message. The sharded engine reports capability
+// gaps at query time via ErrUnsupported rather than by not
+// implementing the interface.
+func supported(err error) (ok bool, fatal error) {
+	if err == nil {
+		return true, nil
+	}
+	if errors.Is(err, core.ErrUnsupported) {
+		return false, nil
+	}
+	return false, err
+}
+
 func answer(sum core.Summary, table *words.Table, c words.ColumnSet, stat string, phi float64, seed uint64) error {
 	switch {
 	case stat == "f0":
-		if q, ok := sum.(core.F0Querier); ok {
+		if q, qok := sum.(core.F0Querier); qok {
 			v, err := q.F0(c)
-			if err != nil {
-				return err
+			if ok, fatal := supported(err); fatal != nil {
+				return fatal
+			} else if ok {
+				fmt.Printf("  F0 = %.1f\n", v)
+				return nil
 			}
-			fmt.Printf("  F0 = %.1f\n", v)
-			return nil
 		}
 		fmt.Printf("  F0: unsupported by this summary (Section 4 lower bound); exact = %d\n",
 			freq.FromTable(table, c).Support())
 	case stat == "f1":
 		fmt.Printf("  F1 = %d (query-independent)\n", sum.Rows())
 	case stat == "f2":
-		if q, ok := sum.(core.FpQuerier); ok {
+		if q, qok := sum.(core.FpQuerier); qok {
 			v, err := q.Fp(c, 2)
-			if err != nil {
-				return err
+			if ok, fatal := supported(err); fatal != nil {
+				return fatal
+			} else if ok {
+				fmt.Printf("  F2 = %.1f\n", v)
+				return nil
 			}
-			fmt.Printf("  F2 = %.1f\n", v)
-			return nil
 		}
 		fmt.Printf("  F2: unsupported by this summary (Theorem 5.4); exact = %.1f\n",
 			freq.FromTable(table, c).F(2))
 	case stat == "hh":
-		if q, ok := sum.(core.HeavyHitterQuerier); ok {
+		if q, qok := sum.(core.HeavyHitterQuerier); qok {
 			hits, err := q.HeavyHitters(c, 1, phi)
-			if err != nil {
-				return err
-			}
-			fmt.Printf("  heavy hitters (phi=%.2f, l1): %d found\n", phi, len(hits))
-			for i, h := range hits {
-				if i == 10 {
-					fmt.Println("    ...")
-					break
+			if ok, fatal := supported(err); fatal != nil {
+				return fatal
+			} else if ok {
+				fmt.Printf("  heavy hitters (phi=%.2f, l1): %d found\n", phi, len(hits))
+				for i, h := range hits {
+					if i == 10 {
+						fmt.Println("    ...")
+						break
+					}
+					fmt.Printf("    %v  est=%.1f\n", h.Pattern, h.Estimate)
 				}
-				fmt.Printf("    %v  est=%.1f\n", h.Pattern, h.Estimate)
+				return nil
 			}
-			return nil
 		}
 		fmt.Println("  hh: unsupported by this summary")
 	case strings.HasPrefix(stat, "freq:"):
@@ -173,13 +259,14 @@ func answer(sum core.Summary, table *words.Table, c words.ColumnSet, stat string
 		if err != nil {
 			return err
 		}
-		if q, ok := sum.(core.FrequencyQuerier); ok {
+		if q, qok := sum.(core.FrequencyQuerier); qok {
 			v, err := q.Frequency(c, pat)
-			if err != nil {
-				return err
+			if ok, fatal := supported(err); fatal != nil {
+				return fatal
+			} else if ok {
+				fmt.Printf("  f(%v) = %.1f\n", pat, v)
+				return nil
 			}
-			fmt.Printf("  f(%v) = %.1f\n", pat, v)
-			return nil
 		}
 		fmt.Println("  freq: unsupported by this summary")
 	case strings.HasPrefix(stat, "sample:"):

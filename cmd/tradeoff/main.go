@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 
@@ -24,17 +25,17 @@ func main() {
 		steps = flag.Int("steps", 19, "alpha grid points in (0, 1/2)")
 	)
 	flag.Parse()
-	if err := run(*d, *steps); err != nil {
+	if err := run(*d, *steps, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "tradeoff:", err)
 		os.Exit(1)
 	}
 }
 
-func run(d, steps int) error {
+func run(d, steps int, out io.Writer) error {
 	if steps < 1 {
 		return fmt.Errorf("need at least one step")
 	}
-	fmt.Println("alpha,relspace_entropy_bound,relspace_exact,approx_factor,log2_approx")
+	fmt.Fprintln(out, "alpha,relspace_entropy_bound,relspace_exact,approx_factor,log2_approx")
 	for i := 1; i <= steps; i++ {
 		alpha := float64(i) / float64(2*(steps+1))
 		n, err := anet.NewNet(d, alpha)
@@ -44,7 +45,7 @@ func run(d, steps int) error {
 		bound := math.Exp2(n.LogSizeBound() - float64(d))
 		exact := n.RelativeSpace()
 		approx := math.Exp2(alpha * float64(d))
-		fmt.Printf("%.4f,%.6g,%.6g,%.6g,%.4f\n", alpha, bound, exact, approx, alpha*float64(d))
+		fmt.Fprintf(out, "%.4f,%.6g,%.6g,%.6g,%.4f\n", alpha, bound, exact, approx, alpha*float64(d))
 	}
 	return nil
 }

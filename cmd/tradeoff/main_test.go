@@ -1,0 +1,35 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke emits a tiny Figure 1 sweep and checks shape: header
+// plus one CSV line per step.
+func TestRunSmoke(t *testing.T) {
+	var out strings.Builder
+	if err := run(12, 5, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("want header + 5 rows, got %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "alpha,") {
+		t.Fatalf("missing CSV header: %q", lines[0])
+	}
+	for _, l := range lines[1:] {
+		if strings.Count(l, ",") != 4 {
+			t.Fatalf("malformed CSV row: %q", l)
+		}
+	}
+}
+
+// TestRunRejectsBadSteps validates the steps guard.
+func TestRunRejectsBadSteps(t *testing.T) {
+	var out strings.Builder
+	if err := run(12, 0, &out); err == nil {
+		t.Fatal("steps < 1 must error")
+	}
+}

@@ -11,7 +11,10 @@ import (
 // the data has gone by.
 func Example() {
 	const d, q = 6, 3
-	sum := projfreq.NewSampleSummarySize(d, q, 400, 1)
+	sum, err := projfreq.NewSampleSummarySize(d, q, 400, 1)
+	if err != nil {
+		panic(err)
+	}
 
 	// Stream: the pattern (2,1) on columns {0,1} appears in 30% of rows.
 	r := projfreq.NewRand(7)

@@ -30,7 +30,10 @@ func main() {
 	d, q := src.Dim(), src.Alphabet()
 
 	// One pass over the stream; O(ε⁻² log 1/δ) rows retained.
-	sum := projfreq.NewSampleSummary(d, q, 0.03, 0.01, seed)
+	sum, err := projfreq.NewSampleSummary(d, q, 0.03, 0.01, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
 	rows := 0
 	for {
 		w, ok := src.Next()

@@ -19,7 +19,10 @@ func main() {
 
 	// Three summaries with different space/guarantee profiles.
 	exact := projfreq.NewExactSummary(d, q)
-	sample := projfreq.NewSampleSummary(d, q, 0.02, 0.01, seed)
+	sample, err := projfreq.NewSampleSummary(d, q, 0.02, 0.01, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
 	net, err := projfreq.NewNetSummary(d, q, projfreq.NetConfig{Alpha: 0.3, Epsilon: 0.2, Seed: seed})
 	if err != nil {
 		log.Fatal(err)

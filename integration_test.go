@@ -13,7 +13,10 @@ func buildAll(t *testing.T, src RowSource) (*testing.T, Summary, Summary, Summar
 	t.Helper()
 	d, q := src.Dim(), src.Alphabet()
 	exact := NewExactSummary(d, q)
-	sample := NewSampleSummary(d, q, 0.03, 0.01, 1)
+	sample, err := NewSampleSummary(d, q, 0.03, 0.01, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	net, err := NewNetSummary(d, q, NetConfig{Alpha: 0.3, Epsilon: 0.2, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
@@ -88,7 +91,11 @@ func TestPublicAPICapabilityMatrix(t *testing.T) {
 	// The capability dichotomies of the paper, enforced by the type
 	// system: Sample must not answer F0/Fp, Net must not answer point
 	// frequencies or sampling.
-	var sample interface{} = NewSampleSummarySize(4, 2, 8, 1)
+	sampleSum, err := NewSampleSummarySize(4, 2, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sample interface{} = sampleSum
 	if _, ok := sample.(F0Querier); ok {
 		t.Fatal("sample summary must not answer F0")
 	}

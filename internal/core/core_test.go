@@ -10,6 +10,17 @@ import (
 	"repro/internal/words"
 )
 
+// mustSample builds a Sample summary, failing the test on a rejected
+// parameter.
+func mustSample(t *testing.T, d, q, size int, seed uint64, opts ...SampleOption) *Sample {
+	t.Helper()
+	s, err := NewSample(d, q, size, seed, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 // testData builds a deterministic skewed table: pattern classes with
 // known structure over d=10 binary columns.
 func testData(n int, seed uint64) *words.Table {
@@ -129,7 +140,10 @@ func TestExactQueryValidation(t *testing.T) {
 
 func TestSampleFrequencyAccuracy(t *testing.T) {
 	tb := testData(20000, 3)
-	s := NewSampleForError(10, 2, 0.05, 0.01, 7)
+	s, err2 := NewSampleForError(10, 2, 0.05, 0.01, 7)
+	if err2 != nil {
+		t.Fatal(err2)
+	}
 	feed(s, tb)
 	c := words.MustColumnSet(10, 0, 1, 2)
 	ref := freq.FromTable(tb, c)
@@ -150,7 +164,7 @@ func TestSampleHeavyHittersFindPlanted(t *testing.T) {
 		if reservoir {
 			opts = append(opts, WithReservoir())
 		}
-		s := NewSample(10, 2, 800, 11, opts...)
+		s := mustSample(t, 10, 2, 800, 11, opts...)
 		feed(s, tb)
 		c := words.MustColumnSet(10, 0, 1, 2)
 		hh, err := s.HeavyHitters(c, 1, 0.2)
@@ -181,7 +195,7 @@ func TestSampleHeavyHittersFindPlanted(t *testing.T) {
 
 func TestSampleLpP1IsRowSampling(t *testing.T) {
 	tb := testData(10000, 5)
-	s := NewSample(10, 2, 600, 13)
+	s := mustSample(t, 10, 2, 600, 13)
 	feed(s, tb)
 	c := words.MustColumnSet(10, 0, 1, 2)
 	ref := freq.FromTable(tb, c)
@@ -204,7 +218,7 @@ func TestSampleLpP1IsRowSampling(t *testing.T) {
 }
 
 func TestSampleUnsupportedQueries(t *testing.T) {
-	s := NewSample(4, 2, 10, 1)
+	s := mustSample(t, 4, 2, 10, 1)
 	s.Observe(words.Word{0, 1, 0, 1})
 	// F0/Fp are not part of the Sample summary's interface at all:
 	// enforce at compile time that it does not satisfy theglob
@@ -219,7 +233,7 @@ func TestSampleUnsupportedQueries(t *testing.T) {
 }
 
 func TestSampleValidation(t *testing.T) {
-	s := NewSample(4, 2, 10, 1)
+	s := mustSample(t, 4, 2, 10, 1)
 	s.Observe(words.Word{0, 1, 0, 1})
 	if _, err := s.Frequency(words.MustColumnSet(3, 0), words.Word{1}); err == nil {
 		t.Fatal("dimension mismatch must error")
@@ -356,11 +370,14 @@ func TestSummaryInterfaceCompliance(t *testing.T) {
 	var _ FrequencyQuerier = NewExact(4, 2)
 	var _ HeavyHitterQuerier = NewExact(4, 2)
 	var _ LpSampleQuerier = NewExact(4, 2)
+	var _ Mergeable = NewExact(4, 2)
 
-	var _ Summary = NewSample(4, 2, 4, 1)
-	var _ FrequencyQuerier = NewSample(4, 2, 4, 1)
-	var _ HeavyHitterQuerier = NewSample(4, 2, 4, 1)
-	var _ LpSampleQuerier = NewSample(4, 2, 4, 1)
+	smp := mustSample(t, 4, 2, 4, 1)
+	var _ Summary = smp
+	var _ FrequencyQuerier = smp
+	var _ HeavyHitterQuerier = smp
+	var _ LpSampleQuerier = smp
+	var _ Mergeable = smp
 
 	nt, err := NewNet(6, 2, NetConfig{Alpha: 0.3})
 	if err != nil {
@@ -369,6 +386,7 @@ func TestSummaryInterfaceCompliance(t *testing.T) {
 	var _ Summary = nt
 	var _ F0Querier = nt
 	var _ FpQuerier = nt
+	var _ Mergeable = nt
 
 	sub, err := NewSubset(6, 2, 2, 0.3, 1, 0)
 	if err != nil {
@@ -376,8 +394,9 @@ func TestSummaryInterfaceCompliance(t *testing.T) {
 	}
 	var _ Summary = sub
 	var _ F0Querier = sub
+	var _ Mergeable = sub
 
-	for _, s := range []Summary{NewExact(4, 2), NewSample(4, 2, 4, 1), nt, sub} {
+	for _, s := range []Summary{NewExact(4, 2), smp, nt, sub} {
 		if s.Name() == "" {
 			t.Fatal("summaries must be named")
 		}

@@ -42,6 +42,31 @@ func (e *Exact) Name() string { return "exact" }
 // Table exposes the retained rows for experiment drivers.
 func (e *Exact) Table() *words.Table { return e.table }
 
+// Merge implements Mergeable: it appends every row retained by the
+// other exact summary, so the result is exactly the summary of the
+// concatenated streams. The peer is left intact.
+func (e *Exact) Merge(other Summary) error {
+	o, ok := other.(*Exact)
+	if !ok {
+		return mergeErr("cannot merge %s with %T", e.Name(), other)
+	}
+	if o == e {
+		return errSelfMerge
+	}
+	if o.Dim() != e.Dim() || o.Alphabet() != e.Alphabet() {
+		return mergeErr("shape mismatch: %d cols/[%d] vs %d cols/[%d]",
+			e.Dim(), e.Alphabet(), o.Dim(), o.Alphabet())
+	}
+	src := o.table.Source()
+	for {
+		w, ok := src.Next()
+		if !ok {
+			return nil
+		}
+		e.table.Append(w)
+	}
+}
+
 // Vector materializes the exact frequency vector f(A, C).
 func (e *Exact) Vector(c words.ColumnSet) *freq.Vector {
 	return freq.FromTable(e.table, c)

@@ -66,13 +66,20 @@ type Net struct {
 }
 
 // NewNet builds the summary; d must be ≤ 30 (net enumeration), and in
-// practice experiments use d ≤ 16.
+// practice experiments use d ≤ 16. Degenerate shapes and parameters
+// are rejected with errors wrapping ErrInvalidParam.
 func NewNet(d, q int, cfg NetConfig) (*Net, error) {
+	if err := validateShape("net", d, q); err != nil {
+		return nil, err
+	}
+	if cfg.Alpha <= 0 || cfg.Alpha >= 0.5 {
+		return nil, badParam("net", "alpha", cfg.Alpha, "outside (0, 1/2)")
+	}
 	if cfg.Epsilon == 0 {
 		cfg.Epsilon = 0.1
 	}
 	if cfg.Epsilon <= 0 || cfg.Epsilon >= 1 {
-		return nil, fmt.Errorf("core: net epsilon %v outside (0,1)", cfg.Epsilon)
+		return nil, badParam("net", "epsilon", cfg.Epsilon, "outside (0,1)")
 	}
 	n, err := anet.NewNet(d, cfg.Alpha)
 	if err != nil {
@@ -97,7 +104,7 @@ func NewNet(d, q int, cfg NetConfig) (*Net, error) {
 	s := &Net{d: d, q: q, cfg: cfg, net: n, f0: f0, fp: make(map[float64]*anet.MetaSummary)}
 	for _, p := range cfg.Moments {
 		if p <= 0 || p > 2 {
-			return nil, fmt.Errorf("core: net moment order %v outside (0,2]", p)
+			return nil, badParam("net", "moment", p, "outside (0,2]")
 		}
 		if _, dup := s.fp[p]; dup {
 			continue
@@ -288,28 +295,42 @@ func (s *Net) MarshalF0Sketches() ([]byte, error) {
 	return s.f0.MarshalSketches()
 }
 
-// Merge folds another Net summary into s, enabling shard-and-merge
-// ingestion of partitioned streams: both summaries must have been
-// built with identical (d, q, config) — in particular the same Seed,
-// so member sketches share hash functions.
-func (s *Net) Merge(o *Net) error {
+// Merge implements Mergeable: it folds another Net summary into s,
+// enabling shard-and-merge ingestion of partitioned streams. Both
+// summaries must have been built with identical (d, q, config) — in
+// particular the same Seed, so member sketches share hash functions.
+func (s *Net) Merge(other Summary) error {
+	o, ok := other.(*Net)
+	if !ok {
+		return mergeErr("cannot merge %s with %T", s.Name(), other)
+	}
+	if o == s {
+		return errSelfMerge
+	}
 	if o.d != s.d || o.q != s.q {
-		return fmt.Errorf("core: merging nets of different shape (%d/%d vs %d/%d)", s.d, s.q, o.d, o.q)
+		return mergeErr("merging nets of different shape (%d/%d vs %d/%d)", s.d, s.q, o.d, o.q)
 	}
 	if s.cfg.Alpha != o.cfg.Alpha || s.cfg.Epsilon != o.cfg.Epsilon ||
-		s.cfg.F0Sketch != o.cfg.F0Sketch || s.cfg.Seed != o.cfg.Seed {
-		return fmt.Errorf("core: merging nets with different configs")
+		s.cfg.F0Sketch != o.cfg.F0Sketch || s.cfg.Seed != o.cfg.Seed ||
+		s.cfg.StableReps != o.cfg.StableReps {
+		return mergeErr("merging nets with different configs")
+	}
+	// Validate the full moment set before touching any sketch, so a
+	// refused merge leaves s untouched rather than half-merged.
+	if len(s.fp) != len(o.fp) {
+		return mergeErr("merging nets with different moment sets")
+	}
+	for p := range s.fp {
+		if _, ok := o.fp[p]; !ok {
+			return mergeErr("peer lacks moment p=%v", p)
+		}
 	}
 	if err := s.f0.Merge(o.f0); err != nil {
-		return err
+		return mergeWrap(err)
 	}
 	for p, m := range s.fp {
-		om, ok := o.fp[p]
-		if !ok {
-			return fmt.Errorf("core: peer lacks moment p=%v", p)
-		}
-		if err := m.Merge(om); err != nil {
-			return err
+		if err := m.Merge(o.fp[p]); err != nil {
+			return mergeWrap(err)
 		}
 	}
 	s.rows += o.rows

@@ -43,8 +43,16 @@ func WithReservoir() SampleOption {
 	return func(s *Sample) { s.reservoir = true }
 }
 
-// NewSample returns a sampling summary of size t.
-func NewSample(d, q, t int, seed uint64, opts ...SampleOption) *Sample {
+// NewSample returns a sampling summary of size t. It rejects
+// degenerate shapes (d < 1, q < 2) and sizes (t < 1) with an error
+// wrapping ErrInvalidParam.
+func NewSample(d, q, t int, seed uint64, opts ...SampleOption) (*Sample, error) {
+	if err := validateShape("sample", d, q); err != nil {
+		return nil, err
+	}
+	if t < 1 {
+		return nil, badParam("sample", "t", t, "must be positive")
+	}
 	s := &Sample{d: d, q: q}
 	for _, o := range opts {
 		o(s)
@@ -54,13 +62,48 @@ func NewSample(d, q, t int, seed uint64, opts ...SampleOption) *Sample {
 	} else {
 		s.wr = sample.NewWithReplacement(t, seed)
 	}
-	return s
+	return s, nil
 }
 
 // NewSampleForError sizes the summary per Theorem 5.1 for additive
-// error ε‖f‖₁ with probability 1−δ.
-func NewSampleForError(d, q int, eps, delta float64, seed uint64, opts ...SampleOption) *Sample {
+// error ε‖f‖₁ with probability 1−δ. ε and δ outside (0,1) are
+// rejected with an error wrapping ErrInvalidParam.
+func NewSampleForError(d, q int, eps, delta float64, seed uint64, opts ...SampleOption) (*Sample, error) {
+	if err := validateErrorParams("sample", eps, delta); err != nil {
+		return nil, err
+	}
 	return NewSample(d, q, sample.SizeForError(eps, delta), seed, opts...)
+}
+
+// Merge implements Mergeable: it folds another Sample built over a
+// disjoint part of the stream into s. Both must use the same shape,
+// sampler mode, and sample size t; seeds may differ (and should, when
+// the shards sample independently). The slot-wise reservoir-step merge
+// keeps every retained row a uniform draw from the combined stream.
+func (s *Sample) Merge(other Summary) error {
+	o, ok := other.(*Sample)
+	if !ok {
+		return mergeErr("cannot merge %s with %T", s.Name(), other)
+	}
+	if o == s {
+		return errSelfMerge
+	}
+	if o.d != s.d || o.q != s.q {
+		return mergeErr("shape mismatch: %d cols/[%d] vs %d cols/[%d]", s.d, s.q, o.d, o.q)
+	}
+	if s.reservoir != o.reservoir {
+		return mergeErr("cannot merge %s with %s", s.Name(), o.Name())
+	}
+	var err error
+	if s.reservoir {
+		err = s.rs.Merge(o.rs)
+	} else {
+		err = s.wr.Merge(o.wr)
+	}
+	if err != nil {
+		return mergeWrap(err)
+	}
+	return nil
 }
 
 // Observe feeds one row.

@@ -19,6 +19,7 @@ import (
 type Subset struct {
 	d, q, t int
 	eps     float64
+	seed    uint64
 	masks   []uint64
 	subsets []words.ColumnSet
 	sk      []*sketch.KMV
@@ -31,11 +32,14 @@ type Subset struct {
 // enumeration exceeds maxSketches to protect callers from accidental
 // combinatorial explosions.
 func NewSubset(d, q, t int, eps float64, seed uint64, maxSketches int) (*Subset, error) {
+	if err := validateShape("subset", d, q); err != nil {
+		return nil, err
+	}
 	if t < 1 || t > d {
-		return nil, fmt.Errorf("core: subset query size %d outside [1, %d]", t, d)
+		return nil, badParam("subset", "t", t, fmt.Sprintf("outside [1, %d]", d))
 	}
 	if eps <= 0 || eps >= 1 {
-		return nil, fmt.Errorf("core: subset epsilon %v outside (0,1)", eps)
+		return nil, badParam("subset", "eps", eps, "outside (0,1)")
 	}
 	count, err := combin.Binomial(d, t)
 	if err != nil {
@@ -44,7 +48,7 @@ func NewSubset(d, q, t int, eps float64, seed uint64, maxSketches int) (*Subset,
 	if maxSketches > 0 && count > uint64(maxSketches) {
 		return nil, fmt.Errorf("core: C(%d,%d) = %d exceeds sketch budget %d", d, t, count, maxSketches)
 	}
-	s := &Subset{d: d, q: q, t: t, eps: eps}
+	s := &Subset{d: d, q: q, t: t, eps: eps, seed: seed}
 	master := rng.New(seed)
 	combin.Combinations(d, t, func(cols []int) bool {
 		cs := words.MustColumnSet(d, cols...)
@@ -116,6 +120,34 @@ func (s *Subset) SizeBytes() int {
 
 // Name identifies the summary.
 func (s *Subset) Name() string { return fmt.Sprintf("subset(t=%d)", s.t) }
+
+// Merge implements Mergeable: it unites each of the C(d, t) member
+// KMV sketches with its peer. Both summaries must share (d, q, t, ε,
+// seed) so paired sketches hash identically; the merged sketch set is
+// then exactly the sketch set of the concatenated stream.
+func (s *Subset) Merge(other Summary) error {
+	o, ok := other.(*Subset)
+	if !ok {
+		return mergeErr("cannot merge %s with %T", s.Name(), other)
+	}
+	if o == s {
+		return errSelfMerge
+	}
+	if o.d != s.d || o.q != s.q || o.t != s.t {
+		return mergeErr("merging subset summaries of different shape (d=%d,q=%d,t=%d vs d=%d,q=%d,t=%d)",
+			s.d, s.q, s.t, o.d, o.q, o.t)
+	}
+	if o.eps != s.eps || o.seed != s.seed {
+		return mergeErr("merging subset summaries with different configs")
+	}
+	for i := range s.sk {
+		if err := s.sk[i].Merge(o.sk[i]); err != nil {
+			return fmt.Errorf("%w: subset %d: %w", ErrIncompatibleMerge, i, err)
+		}
+	}
+	s.rows += o.rows
+	return nil
+}
 
 // F0 answers a query of exactly size t from its dedicated sketch.
 func (s *Subset) F0(c words.ColumnSet) (float64, error) {

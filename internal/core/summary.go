@@ -52,6 +52,20 @@ type Summary interface {
 	Name() string
 }
 
+// Mergeable is the distributed-ingestion capability: a summary that
+// can fold a peer built over a disjoint part of the stream into
+// itself, so that the merged summary answers every query as if it had
+// observed the concatenated stream. All four core summaries implement
+// it (the sketches underneath — KMV/HLL/BJKST, the p-stable moment
+// sketch, and the row samplers — are all mergeable); merging requires
+// compatible shape and, for seeded sketch summaries, identical seeds,
+// and returns an error wrapping ErrIncompatibleMerge otherwise.
+type Mergeable interface {
+	// Merge folds other into the receiver. other must be the same
+	// summary kind with a compatible configuration; it is left intact.
+	Merge(other Summary) error
+}
+
 // F0Querier answers projected distinct-count queries.
 type F0Querier interface {
 	F0(c words.ColumnSet) (float64, error)

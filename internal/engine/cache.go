@@ -1,0 +1,78 @@
+package engine
+
+import "sync"
+
+// queryCache is a small bounded result cache with FIFO eviction and a
+// generation counter. Entries belong to one merged snapshot; clear
+// advances the generation, so results computed against a superseded
+// snapshot are dropped instead of stored (the put racing a clear).
+type queryCache struct {
+	mu    sync.Mutex
+	cap   int
+	gen   uint64
+	m     map[string]Result
+	order []string // insertion order, for FIFO eviction
+}
+
+func newQueryCache(capacity int) *queryCache {
+	return &queryCache{cap: capacity, m: make(map[string]Result, capacity)}
+}
+
+// generation returns the current snapshot generation.
+func (c *queryCache) generation() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
+}
+
+// clear drops every entry and returns the new generation.
+func (c *queryCache) clear() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gen++
+	c.m = make(map[string]Result, c.cap)
+	c.order = c.order[:0]
+	return c.gen
+}
+
+// get returns the cached result for key, provided the cache still
+// holds entries of snapshot generation gen; a caller working against
+// a superseded snapshot misses, keeping its batch internally
+// consistent with the snapshot it actually queried.
+func (c *queryCache) get(key string, gen uint64) (Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.gen != gen {
+		return Result{}, false
+	}
+	r, ok := c.m[key]
+	return r, ok
+}
+
+// put stores a result computed against snapshot generation gen; it is
+// a no-op if the cache has moved on or the result is an error.
+func (c *queryCache) put(key string, r Result, gen uint64) {
+	if r.Err != nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.gen != gen {
+		return
+	}
+	if _, dup := c.m[key]; !dup {
+		if len(c.order) >= c.cap {
+			delete(c.m, c.order[0])
+			c.order = c.order[1:]
+		}
+		c.order = append(c.order, key)
+	}
+	c.m[key] = r
+}
+
+// len returns the number of cached entries.
+func (c *queryCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

@@ -1,0 +1,265 @@
+// Package engine lifts the summary layer's mergeability (core.Mergeable)
+// into a parallel ingestion and batched query engine — the deployment
+// shape that linear-sketch practice exploits: because every core
+// summary of a stream shard merges into the summary of the whole
+// stream, ingestion can fan out across cores and queries can be served
+// from an on-demand merged snapshot.
+//
+// The Sharded engine runs one worker goroutine per shard, each owning
+// a private summary fed through a buffered channel; Observe is safe
+// for concurrent callers and never touches a summary directly. Queries
+// quiesce the workers with a channel barrier, merge the shard
+// summaries into a fresh snapshot (rebuilt only when new rows have
+// arrived since the last one), and answer through the snapshot — many
+// queries at a time via QueryBatch, with a generation-checked result
+// cache in front.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/words"
+)
+
+// Factory builds the summary for one shard. It is called with shard
+// indices 0..Shards-1 for the ingest shards and with index Shards for
+// each merge snapshot. All returned summaries must share (d, q) and
+// implement core.Mergeable; summary kinds whose Merge requires equal
+// seeds (Net, Subset) must ignore the shard index when seeding, while
+// kinds that sample independently (Sample) should fold it in.
+type Factory func(shard int) (core.Summary, error)
+
+// Config tunes the engine; zero values select defaults.
+type Config struct {
+	// Shards is the ingest fan-out (default runtime.GOMAXPROCS(0)).
+	Shards int
+	// Queue is the per-shard channel depth (default 256): the slack
+	// between Observe callers and shard workers before backpressure.
+	Queue int
+	// CacheSize bounds the query result cache (default 1024 entries).
+	CacheSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.Queue <= 0 {
+		c.Queue = 256
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 1024
+	}
+	return c
+}
+
+// shardMsg is one channel element: either a row to observe or a
+// barrier (ack != nil) that pauses the worker until resume closes.
+type shardMsg struct {
+	row    words.Word
+	ack    chan<- struct{}
+	resume <-chan struct{}
+}
+
+// Sharded is the engine: N shard summaries ingesting in parallel, one
+// merged snapshot serving queries. It implements core.Summary, so a
+// sharded engine drops in anywhere a summary does; its query methods
+// forward to the snapshot and return core.ErrUnsupported when the
+// underlying summary kind cannot answer the class.
+type Sharded struct {
+	cfg     Config
+	factory Factory
+	shards  []core.Summary
+	chans   []chan shardMsg
+	workers sync.WaitGroup
+
+	next     atomic.Uint64 // round-robin routing counter
+	enqueued atomic.Int64  // rows accepted (the staleness clock)
+	closed   atomic.Bool
+
+	mu       sync.Mutex // serializes quiesce + snapshot rebuild
+	snap     core.Summary
+	snapRows int64
+	cache    *queryCache
+}
+
+// NewSharded builds the engine and starts its shard workers. The
+// factory is probed immediately: every shard summary must be mergeable
+// and share the same shape.
+func NewSharded(factory Factory, cfg Config) (*Sharded, error) {
+	cfg = cfg.withDefaults()
+	s := &Sharded{
+		cfg:     cfg,
+		factory: factory,
+		shards:  make([]core.Summary, cfg.Shards),
+		chans:   make([]chan shardMsg, cfg.Shards),
+		cache:   newQueryCache(cfg.CacheSize),
+	}
+	for i := range s.shards {
+		sum, err := factory(i)
+		if err != nil {
+			return nil, fmt.Errorf("engine: shard %d factory: %w", i, err)
+		}
+		if _, ok := sum.(core.Mergeable); !ok {
+			return nil, fmt.Errorf("engine: %s summary is not mergeable", sum.Name())
+		}
+		if i > 0 && (sum.Dim() != s.shards[0].Dim() || sum.Alphabet() != s.shards[0].Alphabet()) {
+			return nil, fmt.Errorf("engine: shard %d shape %d/[%d] differs from shard 0 %d/[%d]",
+				i, sum.Dim(), sum.Alphabet(), s.shards[0].Dim(), s.shards[0].Alphabet())
+		}
+		s.shards[i] = sum
+		s.chans[i] = make(chan shardMsg, cfg.Queue)
+	}
+	s.workers.Add(cfg.Shards)
+	for i := range s.shards {
+		go s.worker(i)
+	}
+	return s, nil
+}
+
+func (s *Sharded) worker(i int) {
+	defer s.workers.Done()
+	sum := s.shards[i]
+	for m := range s.chans[i] {
+		if m.ack != nil {
+			m.ack <- struct{}{}
+			<-m.resume
+			continue
+		}
+		sum.Observe(m.row)
+	}
+}
+
+// Observe routes one row to a shard worker, round-robin. It is safe
+// for concurrent callers; the row is cloned before handoff, honouring
+// the Summary contract that the argument is not retained. It must not
+// be called after Close.
+func (s *Sharded) Observe(w words.Word) {
+	if s.closed.Load() {
+		panic("engine: Observe after Close")
+	}
+	i := s.next.Add(1) % uint64(len(s.chans))
+	s.enqueued.Add(1)
+	s.chans[i] <- shardMsg{row: w.Clone()}
+}
+
+// quiesce pauses every worker at a channel barrier (all previously
+// enqueued rows are fully observed first), runs f, then resumes them.
+// Callers must hold s.mu.
+func (s *Sharded) quiesce(f func() error) error {
+	if s.chans == nil {
+		// Closed: the workers are gone and the shards are idle.
+		return f()
+	}
+	resume := make(chan struct{})
+	acks := make(chan struct{}, len(s.chans))
+	for _, ch := range s.chans {
+		ch <- shardMsg{ack: acks, resume: resume}
+	}
+	for range s.chans {
+		<-acks
+	}
+	err := f()
+	close(resume)
+	return err
+}
+
+// Snapshot returns the merged view of all shards, rebuilding it only
+// when rows have arrived since the last build. The returned summary is
+// never mutated again, so callers may query it concurrently.
+func (s *Sharded) Snapshot() (core.Summary, error) {
+	snap, _, err := s.snapshotGen()
+	return snap, err
+}
+
+func (s *Sharded) snapshotGen() (core.Summary, uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.snap != nil && s.snapRows == s.enqueued.Load() {
+		return s.snap, s.cache.generation(), nil
+	}
+	merged, err := s.factory(len(s.shards))
+	if err != nil {
+		return nil, 0, fmt.Errorf("engine: snapshot factory: %w", err)
+	}
+	acc, ok := merged.(core.Mergeable)
+	if !ok {
+		return nil, 0, fmt.Errorf("engine: %s snapshot is not mergeable", merged.Name())
+	}
+	err = s.quiesce(func() error {
+		for i, sh := range s.shards {
+			if err := acc.Merge(sh); err != nil {
+				return fmt.Errorf("engine: merging shard %d: %w", i, err)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	s.snap = merged
+	s.snapRows = merged.Rows()
+	gen := s.cache.clear()
+	return merged, gen, nil
+}
+
+// Flush blocks until every row accepted so far is reflected in the
+// merged snapshot, and returns that snapshot.
+func (s *Sharded) Flush() (core.Summary, error) { return s.Snapshot() }
+
+// Close stops the shard workers. The engine still answers queries
+// (and rebuilds snapshots) afterwards, but Observe must not be called
+// concurrently with or after Close.
+func (s *Sharded) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, ch := range s.chans {
+		close(ch)
+	}
+	s.workers.Wait()
+	// Workers are gone; later snapshots must not post barriers.
+	s.chans = nil
+}
+
+// NumShards returns the ingest fan-out N.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// Dim returns d.
+func (s *Sharded) Dim() int { return s.shards[0].Dim() }
+
+// Alphabet returns Q.
+func (s *Sharded) Alphabet() int { return s.shards[0].Alphabet() }
+
+// Rows returns the number of rows accepted by Observe.
+func (s *Sharded) Rows() int64 { return s.enqueued.Load() }
+
+// SizeBytes totals the shard summaries' space (quiesced, so the walk
+// does not race ingestion). The merge snapshot is transient and not
+// counted: steady-state space is the N shard summaries.
+func (s *Sharded) SizeBytes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := 0
+	err := s.quiesce(func() error {
+		for _, sh := range s.shards {
+			total += sh.SizeBytes()
+		}
+		return nil
+	})
+	if err != nil {
+		return 0
+	}
+	return total
+}
+
+// Name identifies the engine and its base summary kind.
+func (s *Sharded) Name() string {
+	return fmt.Sprintf("sharded(%d×%s)", len(s.shards), s.shards[0].Name())
+}

@@ -1,0 +1,330 @@
+package engine
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/freq"
+	"repro/internal/rng"
+	"repro/internal/words"
+)
+
+// testTable builds a deterministic skewed table over d=10 binary
+// columns with a planted heavy pattern on columns {0,1,2}.
+func testTable(n int, seed uint64) *words.Table {
+	src := rng.New(seed)
+	tb := words.NewTable(10, 2)
+	for i := 0; i < n; i++ {
+		w := make(words.Word, 10)
+		if src.Float64() < 0.3 {
+			w[0], w[1], w[2] = 1, 1, 1
+			for j := 6; j < 10; j++ {
+				w[j] = uint16(src.Intn(2))
+			}
+		} else {
+			for j := range w {
+				w[j] = uint16(src.Intn(2))
+			}
+		}
+		tb.Append(w)
+	}
+	return tb
+}
+
+func exactFactory(d, q int) Factory {
+	return func(int) (core.Summary, error) { return core.NewExact(d, q), nil }
+}
+
+func netFactory(d, q int, cfg core.NetConfig) Factory {
+	return func(int) (core.Summary, error) { return core.NewNet(d, q, cfg) }
+}
+
+func feedEngine(t *testing.T, s *Sharded, tb *words.Table) {
+	t.Helper()
+	src := tb.Source()
+	for {
+		w, ok := src.Next()
+		if !ok {
+			return
+		}
+		s.Observe(w)
+	}
+}
+
+func TestShardedExactMatchesSingleSummary(t *testing.T) {
+	tb := testTable(5000, 1)
+	single := core.NewExact(10, 2)
+	eng, err := NewSharded(exactFactory(10, 2), Config{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	src := tb.Source()
+	for {
+		w, ok := src.Next()
+		if !ok {
+			break
+		}
+		single.Observe(w)
+		eng.Observe(w)
+	}
+	if eng.Rows() != single.Rows() {
+		t.Fatalf("rows %d != %d", eng.Rows(), single.Rows())
+	}
+	c := words.MustColumnSet(10, 0, 1, 2)
+	for _, q := range []Query{
+		{Kind: KindF0, Cols: c},
+		{Kind: KindFp, Cols: c, P: 2},
+		{Kind: KindFrequency, Cols: c, Pattern: words.Word{1, 1, 1}},
+	} {
+		got := eng.QueryBatch([]Query{q})[0]
+		want := answer(single, q)
+		if got.Err != nil || want.Err != nil {
+			t.Fatal(got.Err, want.Err)
+		}
+		if got.Value != want.Value {
+			t.Fatalf("%s: sharded %v != single %v", q.Kind, got.Value, want.Value)
+		}
+	}
+	hh := eng.QueryBatch([]Query{{Kind: KindHeavyHitters, Cols: c, P: 1, Phi: 0.25}})[0]
+	if hh.Err != nil || len(hh.Hits) == 0 || !hh.Hits[0].Pattern.Equal(words.Word{1, 1, 1}) {
+		t.Fatalf("heavy hitters through engine: %+v (%v)", hh.Hits, hh.Err)
+	}
+}
+
+func TestShardedNetMatchesSingleSummary(t *testing.T) {
+	// Same-seed Net shards merge to exactly the single-pass summary:
+	// KMV union and p-stable sum are both order-independent.
+	cfg := core.NetConfig{Alpha: 0.3, Epsilon: 0.25, Moments: []float64{2}, StableReps: 40, Seed: 7}
+	tb := testTable(2000, 2)
+	single, err := core.NewNet(10, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewSharded(netFactory(10, 2, cfg), Config{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	src := tb.Source()
+	for {
+		w, ok := src.Next()
+		if !ok {
+			break
+		}
+		single.Observe(w)
+		eng.Observe(w)
+	}
+	for _, cols := range [][]int{{0, 1}, {0, 1, 2, 3, 4}, {5, 6, 7}} {
+		c := words.MustColumnSet(10, cols...)
+		gotF0, err1 := eng.F0(c)
+		wantF0, err2 := single.F0(c)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if gotF0 != wantF0 {
+			t.Fatalf("F0(%v): sharded %v != single %v", cols, gotF0, wantF0)
+		}
+		gotF2, err1 := eng.Fp(c, 2)
+		wantF2, err2 := single.Fp(c, 2)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if math.Abs(gotF2-wantF2) > 1e-9*math.Abs(wantF2) {
+			t.Fatalf("F2(%v): sharded %v != single %v", cols, gotF2, wantF2)
+		}
+	}
+}
+
+func TestShardedSampleFrequencyWithinTolerance(t *testing.T) {
+	tb := testTable(20000, 3)
+	eng, err := NewSharded(func(shard int) (core.Summary, error) {
+		// Independent per-shard seeds: Sample merges do not require
+		// seed equality, and independent shards sample better.
+		return core.NewSample(10, 2, 1200, 100+uint64(shard))
+	}, Config{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	feedEngine(t, eng, tb)
+	c := words.MustColumnSet(10, 0, 1, 2)
+	truth := float64(freq.FromTable(tb, c).CountWord(words.Word{1, 1, 1}))
+	got, err := eng.Frequency(c, words.Word{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-truth) > 0.05*float64(tb.NumRows()) {
+		t.Fatalf("sharded sample estimate %v, truth %v", got, truth)
+	}
+}
+
+func TestQueryBatchCaches(t *testing.T) {
+	tb := testTable(2000, 4)
+	eng, err := NewSharded(exactFactory(10, 2), Config{Shards: 2, CacheSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	feedEngine(t, eng, tb)
+	c := words.MustColumnSet(10, 0, 1)
+	q := []Query{{Kind: KindF0, Cols: c}, {Kind: KindFp, Cols: c, P: 2}}
+	first := eng.QueryBatch(q)
+	if first[0].Cached || first[1].Cached {
+		t.Fatal("first batch must miss")
+	}
+	second := eng.QueryBatch(q)
+	for i := range second {
+		if !second[i].Cached {
+			t.Fatalf("query %d must hit the cache", i)
+		}
+		if second[i].Value != first[i].Value {
+			t.Fatalf("query %d cached value drifted", i)
+		}
+	}
+	// New rows invalidate: the next batch recomputes.
+	eng.Observe(make(words.Word, 10))
+	third := eng.QueryBatch(q[:1])
+	if third[0].Cached {
+		t.Fatal("stale cache served after new rows")
+	}
+	// Duplicates within one cold batch share a single computation.
+	eng.Observe(make(words.Word, 10))
+	dup := eng.QueryBatch([]Query{q[0], q[1], q[0]})
+	if dup[0].Cached || dup[2].Cached {
+		t.Fatal("within-batch duplicates are answered, not cache hits")
+	}
+	if dup[0].Value != dup[2].Value {
+		t.Fatal("within-batch duplicates must agree")
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	c := newQueryCache(2)
+	gen := c.generation()
+	c.put("a", Result{Value: 1}, gen)
+	c.put("b", Result{Value: 2}, gen)
+	c.put("c", Result{Value: 3}, gen) // evicts "a" (FIFO)
+	if _, ok := c.get("a", gen); ok {
+		t.Fatal("a must be evicted")
+	}
+	if r, ok := c.get("c", gen); !ok || r.Value != 3 {
+		t.Fatal("c must be cached")
+	}
+	if c.len() != 2 {
+		t.Fatalf("cache len %d, want 2", c.len())
+	}
+	// Stale-generation puts and gets are dropped.
+	c.clear()
+	c.put("d", Result{Value: 4}, gen)
+	if _, ok := c.get("d", c.generation()); ok {
+		t.Fatal("stale-generation put must be dropped")
+	}
+	c.put("f", Result{Value: 5}, c.generation())
+	if _, ok := c.get("f", gen); ok {
+		t.Fatal("stale-generation get must miss")
+	}
+	// Error results are never cached.
+	c.put("e", Result{Err: errors.New("boom")}, c.generation())
+	if _, ok := c.get("e", c.generation()); ok {
+		t.Fatal("error result must not be cached")
+	}
+}
+
+func TestShardedUnsupportedQueryClass(t *testing.T) {
+	eng, err := NewSharded(func(shard int) (core.Summary, error) {
+		return core.NewSample(10, 2, 64, uint64(shard))
+	}, Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	eng.Observe(make(words.Word, 10))
+	if _, err := eng.F0(words.MustColumnSet(10, 0)); !errors.Is(err, core.ErrUnsupported) {
+		t.Fatalf("sample engine F0 must be unsupported, got %v", err)
+	}
+}
+
+func TestShardedFactoryValidation(t *testing.T) {
+	if _, err := NewSharded(func(int) (core.Summary, error) {
+		r, err := core.NewRegistered(4, 2, []words.ColumnSet{words.MustColumnSet(4, 0)}, core.RegisteredConfig{Seed: 1})
+		return r, err
+	}, Config{Shards: 2}); err == nil {
+		t.Fatal("non-mergeable base summary must be rejected")
+	}
+	shape := 0
+	if _, err := NewSharded(func(int) (core.Summary, error) {
+		shape++
+		return core.NewExact(3+shape, 2), nil
+	}, Config{Shards: 2}); err == nil {
+		t.Fatal("mismatched shard shapes must be rejected")
+	}
+}
+
+// TestConcurrentObserveAndQuery drives ingestion and batched queries
+// from many goroutines at once; run under -race this is the engine's
+// central soundness check.
+func TestConcurrentObserveAndQuery(t *testing.T) {
+	eng, err := NewSharded(exactFactory(10, 2), Config{Shards: 4, Queue: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		writers        = 4
+		rowsPerWriter  = 2000
+		readers        = 3
+		queriesPerRead = 25
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			src := rng.New(uint64(w + 1))
+			row := make(words.Word, 10)
+			for i := 0; i < rowsPerWriter; i++ {
+				for j := range row {
+					row[j] = uint16(src.Intn(2))
+				}
+				eng.Observe(row)
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			c := words.MustColumnSet(10, r, r+1, r+2)
+			for i := 0; i < queriesPerRead; i++ {
+				res := eng.QueryBatch([]Query{
+					{Kind: KindF0, Cols: c},
+					{Kind: KindFrequency, Cols: c, Pattern: words.Word{1, 1, 1}},
+				})
+				for _, x := range res {
+					if x.Err != nil {
+						t.Error(x.Err)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	eng.Close()
+	want := int64(writers * rowsPerWriter)
+	if eng.Rows() != want {
+		t.Fatalf("rows %d, want %d", eng.Rows(), want)
+	}
+	// After close the engine still answers, and the final snapshot
+	// reflects every accepted row.
+	snap, err := eng.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Rows() != want {
+		t.Fatalf("snapshot rows %d, want %d", snap.Rows(), want)
+	}
+}

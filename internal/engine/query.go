@@ -1,0 +1,204 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/words"
+)
+
+// Kind selects the query class of a batched query.
+type Kind uint8
+
+// The supported query classes. Lp sampling is deliberately absent: a
+// random draw is neither cacheable nor batchable.
+const (
+	KindF0 Kind = iota
+	KindFp
+	KindFrequency
+	KindHeavyHitters
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindF0:
+		return "f0"
+	case KindFp:
+		return "fp"
+	case KindFrequency:
+		return "freq"
+	case KindHeavyHitters:
+		return "hh"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Query is one projected-frequency question for QueryBatch.
+type Query struct {
+	Kind Kind
+	// Cols is the projection C.
+	Cols words.ColumnSet
+	// P is the moment order (KindFp) or norm order (KindHeavyHitters).
+	P float64
+	// Phi is the heavy-hitter threshold (KindHeavyHitters only).
+	Phi float64
+	// Pattern is the point pattern (KindFrequency only).
+	Pattern words.Word
+}
+
+// cacheKey identifies the query up to answer equivalence: the summary
+// is deterministic, so (kind, C, p, phi, pattern) fixes the result for
+// a given snapshot.
+func (q Query) cacheKey() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d|%s|%g|%g|", q.Kind, q.Cols, q.P, q.Phi)
+	if q.Pattern != nil {
+		b.WriteString(q.Pattern.String())
+	}
+	return b.String()
+}
+
+// Result is the answer to one batched query.
+type Result struct {
+	// Value is the scalar answer (F0, Fp, Frequency).
+	Value float64
+	// Hits is the heavy-hitter list (KindHeavyHitters); callers must
+	// not mutate it — it may be shared through the cache.
+	Hits []core.HeavyHitter
+	// Err is the per-query failure, core.ErrUnsupported when the base
+	// summary kind cannot answer this class.
+	Err error
+	// Cached reports that the answer was served from the result cache.
+	Cached bool
+}
+
+// QueryBatch answers a batch of queries against one consistent merged
+// snapshot: the engine quiesces ingestion once, merges once (or reuses
+// the previous snapshot when no rows arrived), then answers cache
+// misses concurrently. len(out) == len(queries), position-matched.
+func (s *Sharded) QueryBatch(queries []Query) []Result {
+	out := make([]Result, len(queries))
+	if len(queries) == 0 {
+		return out
+	}
+	snap, gen, err := s.snapshotGen()
+	if err != nil {
+		for i := range out {
+			out[i].Err = err
+		}
+		return out
+	}
+	// Deduplicate within the batch: identical queries share one
+	// computation (and one cache entry).
+	misses := make(map[string][]int)
+	var order []string
+	for i, q := range queries {
+		key := q.cacheKey()
+		if r, ok := s.cache.get(key, gen); ok {
+			out[i] = r
+			out[i].Cached = true
+			continue
+		}
+		if _, dup := misses[key]; !dup {
+			order = append(order, key)
+		}
+		misses[key] = append(misses[key], i)
+	}
+	if len(order) == 0 {
+		return out
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(order) {
+		workers = len(order)
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for _, key := range order {
+		idx := misses[key]
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(idx []int) {
+			defer wg.Done()
+			r := answer(snap, queries[idx[0]])
+			for _, i := range idx {
+				out[i] = r
+			}
+			<-sem
+		}(idx)
+	}
+	wg.Wait()
+	for _, key := range order {
+		s.cache.put(key, out[misses[key][0]], gen)
+	}
+	return out
+}
+
+// answer resolves one query against an immutable snapshot.
+func answer(snap core.Summary, q Query) Result {
+	switch q.Kind {
+	case KindF0:
+		if qr, ok := snap.(core.F0Querier); ok {
+			v, err := qr.F0(q.Cols)
+			return Result{Value: v, Err: err}
+		}
+	case KindFp:
+		if qr, ok := snap.(core.FpQuerier); ok {
+			v, err := qr.Fp(q.Cols, q.P)
+			return Result{Value: v, Err: err}
+		}
+	case KindFrequency:
+		if qr, ok := snap.(core.FrequencyQuerier); ok {
+			v, err := qr.Frequency(q.Cols, q.Pattern)
+			return Result{Value: v, Err: err}
+		}
+	case KindHeavyHitters:
+		if qr, ok := snap.(core.HeavyHitterQuerier); ok {
+			hits, err := qr.HeavyHitters(q.Cols, q.P, q.Phi)
+			return Result{Hits: hits, Err: err}
+		}
+	default:
+		return Result{Err: fmt.Errorf("engine: unknown query kind %d", q.Kind)}
+	}
+	return Result{Err: fmt.Errorf("%w: %s on %s", core.ErrUnsupported, q.Kind, snap.Name())}
+}
+
+// F0 answers a single projected distinct-count query through the
+// merged snapshot (core.F0Querier).
+func (s *Sharded) F0(c words.ColumnSet) (float64, error) {
+	r := s.QueryBatch([]Query{{Kind: KindF0, Cols: c}})[0]
+	return r.Value, r.Err
+}
+
+// Fp answers a single projected moment query (core.FpQuerier).
+func (s *Sharded) Fp(c words.ColumnSet, p float64) (float64, error) {
+	r := s.QueryBatch([]Query{{Kind: KindFp, Cols: c, P: p}})[0]
+	return r.Value, r.Err
+}
+
+// Frequency answers a single projected point-frequency query
+// (core.FrequencyQuerier).
+func (s *Sharded) Frequency(c words.ColumnSet, b words.Word) (float64, error) {
+	r := s.QueryBatch([]Query{{Kind: KindFrequency, Cols: c, Pattern: b}})[0]
+	return r.Value, r.Err
+}
+
+// HeavyHitters answers a single projected heavy-hitter query
+// (core.HeavyHitterQuerier). Unlike Result.Hits, the returned slice
+// is caller-owned — matching the other implementations of the
+// interface — so mutating it cannot corrupt the result cache.
+func (s *Sharded) HeavyHitters(c words.ColumnSet, p, phi float64) ([]core.HeavyHitter, error) {
+	r := s.QueryBatch([]Query{{Kind: KindHeavyHitters, Cols: c, P: p, Phi: phi}})[0]
+	if r.Hits == nil {
+		return nil, r.Err
+	}
+	hits := make([]core.HeavyHitter, len(r.Hits))
+	for i, h := range r.Hits {
+		hits[i] = core.HeavyHitter{Pattern: h.Pattern.Clone(), Estimate: h.Estimate}
+	}
+	return hits, r.Err
+}

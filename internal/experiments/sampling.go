@@ -71,7 +71,10 @@ func RunSampling(opt Options) (*Report, error) {
 				opts = append(opts, core.WithReservoir())
 				name = "reservoir"
 			}
-			sum := core.NewSampleForError(d, q, eps, delta, opt.Seed^0xe32, opts...)
+			sum, err := core.NewSampleForError(d, q, eps, delta, opt.Seed^0xe32, opts...)
+			if err != nil {
+				return nil, err
+			}
 			src := table.Source()
 			for {
 				w, ok := src.Next()

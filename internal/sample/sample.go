@@ -66,6 +66,29 @@ func (s *WithReplacement) Observe(w words.Word) {
 	}
 }
 
+// Merge folds another with-replacement sampler built over a disjoint
+// segment of the stream into s. Slot i keeps its own row with
+// probability seen/(seen+other.seen) and takes the peer's otherwise,
+// drawn from the slot's private source — exactly the reservoir step,
+// so each slot remains a uniform draw from the concatenated stream
+// and the slots stay mutually independent. The peer is left intact.
+func (s *WithReplacement) Merge(o *WithReplacement) error {
+	if o.t != s.t {
+		return fmt.Errorf("sample: merging samplers of different size (%d vs %d)", s.t, o.t)
+	}
+	if o.seen == 0 {
+		return nil
+	}
+	total := s.seen + o.seen
+	for i := range s.rows {
+		if s.srcs[i].Uint64n(uint64(total)) >= uint64(s.seen) {
+			s.rows[i] = o.rows[i].Clone()
+		}
+	}
+	s.seen = total
+	return nil
+}
+
 // Seen returns the stream length n observed so far.
 func (s *WithReplacement) Seen() int64 { return s.seen }
 
@@ -146,6 +169,49 @@ func (r *Reservoir) Observe(w words.Word) {
 	if j < uint64(r.t) {
 		r.rows[j] = w.Clone()
 	}
+}
+
+// Merge folds another reservoir built over a disjoint stream segment
+// into r: repeatedly pick a side with probability proportional to its
+// remaining (unsampled) stream length and move a uniform element from
+// that side's reservoir, until t rows are kept or both are exhausted —
+// the standard distributed-reservoir merge, which keeps the result a
+// uniform without-replacement sample of the concatenated stream. The
+// peer is left intact.
+func (r *Reservoir) Merge(o *Reservoir) error {
+	if o.t != r.t {
+		return fmt.Errorf("sample: merging reservoirs of different size (%d vs %d)", r.t, o.t)
+	}
+	if o.seen == 0 {
+		return nil
+	}
+	a := append([]words.Word(nil), r.rows...)
+	b := make([]words.Word, len(o.rows))
+	for i, w := range o.rows {
+		b[i] = w.Clone()
+	}
+	na, nb := r.seen, o.seen
+	merged := make([]words.Word, 0, r.t)
+	for len(merged) < r.t && len(a)+len(b) > 0 {
+		takeA := len(b) == 0 ||
+			(len(a) > 0 && r.src.Uint64n(uint64(na+nb)) < uint64(na))
+		if takeA {
+			j := int(r.src.Uint64n(uint64(len(a))))
+			merged = append(merged, a[j])
+			a[j] = a[len(a)-1]
+			a = a[:len(a)-1]
+			na--
+		} else {
+			j := int(r.src.Uint64n(uint64(len(b))))
+			merged = append(merged, b[j])
+			b[j] = b[len(b)-1]
+			b = b[:len(b)-1]
+			nb--
+		}
+	}
+	r.rows = merged
+	r.seen += o.seen
+	return nil
 }
 
 // Seen returns the stream length observed.

@@ -11,7 +11,7 @@
 //
 // Build a summary, stream rows into it, then query:
 //
-//	sum := projfreq.NewSampleSummary(d, q, 0.05, 0.01, seed)
+//	sum, _ := projfreq.NewSampleSummary(d, q, 0.05, 0.01, seed)
 //	for _, row := range rows {
 //		sum.Observe(row)
 //	}
@@ -37,6 +37,7 @@ package projfreq
 
 import (
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/rng"
 	"repro/internal/words"
 )
@@ -90,8 +91,18 @@ const (
 	F0BJKST = core.F0BJKST
 )
 
+// Mergeable is the distributed-ingestion capability: summaries that
+// fold a peer built over a disjoint stream shard into themselves.
+type Mergeable = core.Mergeable
+
 // ErrUnsupported reports a query class a summary cannot answer.
 var ErrUnsupported = core.ErrUnsupported
+
+// ErrInvalidParam reports a rejected construction parameter.
+var ErrInvalidParam = core.ErrInvalidParam
+
+// ErrIncompatibleMerge reports a merge between incompatible summaries.
+var ErrIncompatibleMerge = core.ErrIncompatibleMerge
 
 // NewColumnSet builds the projection query {cols...} over [d].
 func NewColumnSet(d int, cols ...int) (ColumnSet, error) {
@@ -105,14 +116,16 @@ func FullColumnSet(d int) ColumnSet { return words.FullColumnSet(d) }
 func NewExactSummary(d, q int) *core.Exact { return core.NewExact(d, q) }
 
 // NewSampleSummary returns the Theorem 5.1 uniform-sampling summary
-// sized for additive error ε‖f‖₁ with probability 1−δ.
-func NewSampleSummary(d, q int, eps, delta float64, seed uint64) *core.Sample {
+// sized for additive error ε‖f‖₁ with probability 1−δ. Degenerate
+// parameters (d < 1, q < 2, ε or δ outside (0,1)) are rejected with
+// an error wrapping ErrInvalidParam.
+func NewSampleSummary(d, q int, eps, delta float64, seed uint64) (*core.Sample, error) {
 	return core.NewSampleForError(d, q, eps, delta, seed)
 }
 
 // NewSampleSummarySize returns the sampling summary with an explicit
 // sample size t.
-func NewSampleSummarySize(d, q, t int, seed uint64) *core.Sample {
+func NewSampleSummarySize(d, q, t int, seed uint64) (*core.Sample, error) {
 	return core.NewSample(d, q, t, seed)
 }
 
@@ -136,3 +149,38 @@ func NewRegisteredSummary(d, q int, subsets []ColumnSet, cfg RegisteredConfig) (
 // NewRand returns the library's deterministic random source, needed
 // by sampling queries.
 func NewRand(seed uint64) *rng.Source { return rng.New(seed) }
+
+// The sharded ingestion + batched query engine: every core summary is
+// mergeable (Mergeable), so ingestion fans out across shards and
+// queries are served from an on-demand merged snapshot.
+type (
+	// ShardedSummary ingests rows across N parallel shard summaries
+	// and answers queries through a merged snapshot with a result
+	// cache. It implements Summary and all scalar query interfaces.
+	ShardedSummary = engine.Sharded
+	// ShardedConfig tunes shard count, queue depth, and cache size.
+	ShardedConfig = engine.Config
+	// SummaryFactory builds the per-shard summaries (and the merge
+	// snapshot, index Shards).
+	SummaryFactory = engine.Factory
+	// Query is one question for ShardedSummary.QueryBatch.
+	Query = engine.Query
+	// QueryResult is a batched query answer.
+	QueryResult = engine.Result
+	// QueryKind selects the query class of a batched Query.
+	QueryKind = engine.Kind
+)
+
+// The batched query classes.
+const (
+	QueryF0           = engine.KindF0
+	QueryFp           = engine.KindFp
+	QueryFrequency    = engine.KindFrequency
+	QueryHeavyHitters = engine.KindHeavyHitters
+)
+
+// NewShardedSummary returns the parallel engine over the factory's
+// summary kind. With a zero config it shards across GOMAXPROCS.
+func NewShardedSummary(factory SummaryFactory, cfg ShardedConfig) (*ShardedSummary, error) {
+	return engine.NewSharded(factory, cfg)
+}
