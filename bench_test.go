@@ -361,7 +361,10 @@ func BenchmarkReservoirObserve(b *testing.B) {
 }
 
 func BenchmarkExactF0Query(b *testing.B) {
-	ex := core.NewExact(12, 4)
+	ex, err := core.NewExact(12, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
 	words.Drain(workload.Uniform(12, 4, 20000, 33), ex.Observe)
 	c := words.MustColumnSet(12, 0, 3, 6, 9)
 	b.ReportAllocs()
@@ -422,7 +425,7 @@ func batchQueries() []engine.Query {
 
 func benchShardedQueryBatch(b *testing.B, invalidate bool) {
 	eng, err := engine.NewSharded(func(int) (core.Summary, error) {
-		return core.NewExact(12, 2), nil
+		return core.NewExact(12, 2)
 	}, engine.Config{Shards: 4})
 	if err != nil {
 		b.Fatal(err)

@@ -12,12 +12,26 @@
 // runs without any input file. With -shards N ingestion fans out
 // across an N-shard parallel engine; -batch answers a semicolon-
 // separated list of extra F0 projections as one batched query.
+//
+// The tool is also the remote writer of the projfreqd deployment
+// model (ARCHITECTURE.md): -save writes the built summary's wire form
+// to a file, -push POSTs it to a running projfreqd daemon (which
+// merges it on ingest), and -load answers queries from a previously
+// saved blob without re-reading any data:
+//
+//	projfreq -demo -summary net -save shard.pfqs -query 0,1
+//	projfreq -demo -summary net -push http://localhost:8080 -query 0,1
+//	projfreq -load shard.pfqs -query 0,1 -stats f0
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -52,14 +66,42 @@ func run() error {
 		phi      = flag.Float64("phi", 0.1, "heavy hitter threshold")
 		shards   = flag.Int("shards", 0, "ingest through an N-shard parallel engine (0 = direct)")
 		batchStr = flag.String("batch", "", "semicolon-separated column lists answered as one F0 query batch (requires -shards)")
+		savePath = flag.String("save", "", "write the built summary's wire form to this file")
+		pushURL  = flag.String("push", "", "POST the built summary's wire form to this projfreqd base URL")
+		loadPath = flag.String("load", "", "answer queries from a saved summary blob instead of building one")
 	)
 	flag.Parse()
 
-	table, err := loadData(*dataPath, *demo, *q, *seed)
-	if err != nil {
-		return err
+	var (
+		table *words.Table
+		sum   core.Summary
+		eng   *engine.Sharded
+		d     int
+	)
+	if *loadPath != "" {
+		if *dataPath != "" || *demo {
+			return fmt.Errorf("-load replaces -data/-demo: the blob already holds the summary")
+		}
+		if *shards > 0 || *batchStr != "" || *savePath != "" || *pushURL != "" {
+			return fmt.Errorf("-load only answers queries; it cannot be combined with -shards, -batch, -save, or -push")
+		}
+		blob, err := os.ReadFile(*loadPath)
+		if err != nil {
+			return err
+		}
+		sum, err = core.UnmarshalSummary(blob)
+		if err != nil {
+			return fmt.Errorf("decoding %s: %w", *loadPath, err)
+		}
+		d = sum.Dim()
+	} else {
+		var err error
+		table, err = loadData(*dataPath, *demo, *q, *seed)
+		if err != nil {
+			return err
+		}
+		d = table.Dim()
 	}
-	d := table.Dim()
 	if *queryStr == "" {
 		return fmt.Errorf("missing -query (columns in [0,%d))", d)
 	}
@@ -75,42 +117,34 @@ func run() error {
 	if *batchStr != "" && *shards <= 0 {
 		return fmt.Errorf("-batch requires -shards")
 	}
-	var (
-		sum  core.Summary
-		eng  *engine.Sharded
-		err2 error
-	)
-	if *shards > 0 {
-		eng, err2 = engine.NewSharded(func(shard int) (core.Summary, error) {
-			shardSeed := *seed
-			if *kind == "sample" {
-				// Sample shards must draw independently; Net shards
-				// must share hash functions (identical seed).
-				shardSeed += uint64(shard) * 0x9e3779b97f4a7c15
+	if table != nil {
+		var err2 error
+		if *shards > 0 {
+			eng, err2 = engine.NewSharded(func(shard int) (core.Summary, error) {
+				return buildSummary(*kind, d, table.Alphabet(), *eps, *delta, *alpha, *seed, shard)
+			}, engine.Config{Shards: *shards})
+			if err2 != nil {
+				return err2
 			}
-			return buildSummary(*kind, d, table.Alphabet(), *eps, *delta, *alpha, shardSeed)
-		}, engine.Config{Shards: *shards})
-		if err2 != nil {
-			return err2
+			defer eng.Close()
+			sum = eng
+		} else {
+			sum, err2 = buildSummary(*kind, d, table.Alphabet(), *eps, *delta, *alpha, *seed, 0)
+			if err2 != nil {
+				return err2
+			}
 		}
-		defer eng.Close()
-		sum = eng
-	} else {
-		sum, err2 = buildSummary(*kind, d, table.Alphabet(), *eps, *delta, *alpha, *seed)
-		if err2 != nil {
-			return err2
+		src := table.Source()
+		for {
+			w, ok := src.Next()
+			if !ok {
+				break
+			}
+			sum.Observe(w)
 		}
-	}
-	src := table.Source()
-	for {
-		w, ok := src.Next()
-		if !ok {
-			break
-		}
-		sum.Observe(w)
 	}
 	fmt.Printf("summary=%s rows=%d dim=%d alphabet=%d bytes=%d\n",
-		sum.Name(), sum.Rows(), d, table.Alphabet(), sum.SizeBytes())
+		sum.Name(), sum.Rows(), d, sum.Alphabet(), sum.SizeBytes())
 	fmt.Printf("query C=%v (|C|=%d)\n", c, c.Len())
 
 	for _, stat := range strings.Split(*statsStr, ",") {
@@ -120,8 +154,54 @@ func run() error {
 		}
 	}
 	if *batchStr != "" {
-		return runBatch(eng, d, *batchStr)
+		if err := runBatch(eng, d, *batchStr); err != nil {
+			return err
+		}
 	}
+	if *savePath != "" || *pushURL != "" {
+		blob, err := core.MarshalSummary(sum)
+		if err != nil {
+			return err
+		}
+		if *savePath != "" {
+			if err := os.WriteFile(*savePath, blob, 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("saved %d-byte summary to %s\n", len(blob), *savePath)
+		}
+		if *pushURL != "" {
+			if err := pushSummary(*pushURL, blob); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// pushSummary POSTs a wire blob to a projfreqd daemon's push endpoint
+// and reports the daemon's merged row total.
+func pushSummary(baseURL string, blob []byte) error {
+	url := strings.TrimSuffix(baseURL, "/") + "/v1/push"
+	resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(blob))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("push to %s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	var ack struct {
+		RowsMerged int64 `json:"rows_merged"`
+		Rows       int64 `json:"rows"`
+	}
+	if err := json.Unmarshal(body, &ack); err != nil {
+		return fmt.Errorf("push to %s: decoding ack: %w", url, err)
+	}
+	fmt.Printf("pushed %d bytes: daemon merged %d rows, now serving %d\n", len(blob), ack.RowsMerged, ack.Rows)
 	return nil
 }
 
@@ -180,17 +260,12 @@ func loadData(path string, demo bool, q int, seed uint64) (*words.Table, error) 
 	return words.ReadCSV(f, q)
 }
 
-func buildSummary(kind string, d, q int, eps, delta, alpha float64, seed uint64) (core.Summary, error) {
-	switch kind {
-	case "exact":
-		return core.NewExact(d, q), nil
-	case "sample":
-		return core.NewSampleForError(d, q, eps, delta, seed)
-	case "net":
-		return core.NewNet(d, q, core.NetConfig{Alpha: alpha, Epsilon: eps, Moments: []float64{2}, StableReps: 60, Seed: seed})
-	default:
-		return nil, fmt.Errorf("unknown summary kind %q", kind)
-	}
+// buildSummary constructs the summary via the configuration
+// cmd/projfreqd shares (engine.StandardSummary), so summaries this
+// tool saves or pushes always merge into a daemon started with the
+// same flags. shard is the ingest-shard index (0 when unsharded).
+func buildSummary(kind string, d, q int, eps, delta, alpha float64, seed uint64, shard int) (core.Summary, error) {
+	return engine.StandardSummary(kind, d, q, eps, delta, alpha, seed, shard)
 }
 
 // supported classifies a query error: ok means the answer may be
@@ -220,6 +295,10 @@ func answer(sum core.Summary, table *words.Table, c words.ColumnSet, stat string
 				return nil
 			}
 		}
+		if table == nil {
+			fmt.Println("  F0: unsupported by this summary (Section 4 lower bound)")
+			return nil
+		}
 		fmt.Printf("  F0: unsupported by this summary (Section 4 lower bound); exact = %d\n",
 			freq.FromTable(table, c).Support())
 	case stat == "f1":
@@ -233,6 +312,10 @@ func answer(sum core.Summary, table *words.Table, c words.ColumnSet, stat string
 				fmt.Printf("  F2 = %.1f\n", v)
 				return nil
 			}
+		}
+		if table == nil {
+			fmt.Println("  F2: unsupported by this summary (Theorem 5.4)")
+			return nil
 		}
 		fmt.Printf("  F2: unsupported by this summary (Theorem 5.4); exact = %.1f\n",
 			freq.FromTable(table, c).F(2))

@@ -1,8 +1,15 @@
 package main
 
 import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/words"
 )
 
@@ -51,7 +58,7 @@ func TestLoadDataDemo(t *testing.T) {
 
 func TestBuildSummaryKinds(t *testing.T) {
 	for _, kind := range []string{"exact", "sample", "net"} {
-		s, err := buildSummary(kind, 8, 2, 0.2, 0.05, 0.3, 1)
+		s, err := buildSummary(kind, 8, 2, 0.2, 0.05, 0.3, 1, 0)
 		if err != nil {
 			t.Fatalf("%s: %v", kind, err)
 		}
@@ -59,7 +66,77 @@ func TestBuildSummaryKinds(t *testing.T) {
 			t.Fatalf("%s: dim %d", kind, s.Dim())
 		}
 	}
-	if _, err := buildSummary("bogus", 8, 2, 0.2, 0.05, 0.3, 1); err == nil {
+	if _, err := buildSummary("bogus", 8, 2, 0.2, 0.05, 0.3, 1, 0); err == nil {
 		t.Fatal("unknown kind must error")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	// A summary saved by one invocation answers identically when
+	// loaded by another — the CLI's half of the wire-format contract.
+	sum, err := buildSummary("net", 6, 3, 0.25, 0.05, 0.3, 9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := make(words.Word, 6)
+	for i := 0; i < 500; i++ {
+		for j := range w {
+			w[j] = uint16((i*7 + j) % 3)
+		}
+		sum.Observe(w)
+	}
+	blob, err := core.MarshalSummary(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "shard.pfqs")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	saved, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := core.UnmarshalSummary(saved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := words.MustColumnSet(6, 0, 1)
+	want, err := sum.(core.F0Querier).F0(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dec.(core.F0Querier).F0(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("loaded F0 %v != saved %v", got, want)
+	}
+}
+
+func TestPushSummaryAgainstStubDaemon(t *testing.T) {
+	var gotBody []byte
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/push" {
+			t.Errorf("push path %q", r.URL.Path)
+		}
+		gotBody, _ = io.ReadAll(r.Body)
+		fmt.Fprintln(w, `{"rows_merged": 10, "rows": 10}`)
+	}))
+	defer ts.Close()
+	if err := pushSummary(ts.URL+"/", []byte("blob")); err != nil {
+		t.Fatal(err)
+	}
+	if string(gotBody) != "blob" {
+		t.Fatalf("daemon received %q", gotBody)
+	}
+	// Non-200 responses surface as errors.
+	tsErr := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"incompatible"}`, http.StatusConflict)
+	}))
+	defer tsErr.Close()
+	if err := pushSummary(tsErr.URL, []byte("blob")); err == nil {
+		t.Fatal("conflict push must error")
 	}
 }

@@ -1,0 +1,315 @@
+// Command projfreqd serves a sharded projected-frequency summary over
+// HTTP: the cross-process form of the internal/engine deployment
+// model. Rows stream in through /v1/observe, remote writers push whole
+// serialized summaries through /v1/push (merged on ingest), and
+// readers batch queries through /v1/query or export the merged
+// summary as a wire blob from /v1/summary.
+//
+// Usage:
+//
+//	projfreqd -addr :8080 -summary net -d 8 -q 8 -alpha 0.3 -seed 7
+//	projfreqd -summary sample -d 12 -q 2 -eps 0.02 -shards 8
+//
+// Remote writers must build their summaries with the same shape and
+// configuration the daemon was started with (for Net/Subset summaries
+// that includes the seed, so member sketches share hash functions);
+// pushes of incompatible summaries are refused with 409 and corrupt
+// blobs with 400. cmd/projfreq -push is the matching writer CLI, and
+// ARCHITECTURE.md documents the wire format and endpoint contracts.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/words"
+)
+
+// maxBody bounds request bodies: pushed summaries and row batches.
+const maxBody = 1 << 28
+
+func main() {
+	var (
+		addr   = flag.String("addr", ":8080", "listen address")
+		kind   = flag.String("summary", "exact", "summary kind: exact | sample | net")
+		d      = flag.Int("d", 8, "number of columns")
+		q      = flag.Int("q", 2, "alphabet size Q")
+		eps    = flag.Float64("eps", 0.05, "accuracy parameter")
+		delta  = flag.Float64("delta", 0.01, "failure probability (sample summary)")
+		alpha  = flag.Float64("alpha", 0.3, "alpha-net parameter (net summary)")
+		seed   = flag.Uint64("seed", 1, "random seed")
+		shards = flag.Int("shards", 0, "ingest shard count (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	eng, err := engine.NewSharded(func(shard int) (core.Summary, error) {
+		return buildSummary(*kind, *d, *q, *eps, *delta, *alpha, *seed, shard)
+	}, engine.Config{Shards: *shards})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "projfreqd:", err)
+		os.Exit(1)
+	}
+	defer eng.Close()
+
+	// Explicit server timeouts: MaxBytesReader bounds body size but
+	// not read duration, so stalled clients must not pin goroutines.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           newServer(eng),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       5 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	log.Printf("projfreqd: serving %s on %s", eng.Name(), *addr)
+	if err := httpSrv.ListenAndServe(); err != nil {
+		fmt.Fprintln(os.Stderr, "projfreqd:", err)
+		os.Exit(1)
+	}
+}
+
+// buildSummary constructs one shard summary via the configuration
+// cmd/projfreq shares (engine.StandardSummary), so writers built by
+// the CLI always merge into a daemon started with the same flags.
+func buildSummary(kind string, d, q int, eps, delta, alpha float64, seed uint64, shard int) (core.Summary, error) {
+	return engine.StandardSummary(kind, d, q, eps, delta, alpha, seed, shard)
+}
+
+// server is the HTTP face of one sharded engine.
+type server struct {
+	eng *engine.Sharded
+	mux *http.ServeMux
+}
+
+// newServer wires the endpoint routes around the engine.
+func newServer(eng *engine.Sharded) *server {
+	s := &server{eng: eng, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/observe", s.handleObserve)
+	s.mux.HandleFunc("POST /v1/push", s.handlePush)
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("GET /v1/summary", s.handleSummary)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBody)
+	s.mux.ServeHTTP(w, r)
+}
+
+// httpError writes a JSON error body with the given status.
+func httpError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// observeRequest is the /v1/observe body: a batch of rows.
+type observeRequest struct {
+	Rows [][]uint16 `json:"rows"`
+}
+
+// observeResponse reports accepted rows and the engine's new total.
+type observeResponse struct {
+	Accepted int   `json:"accepted"`
+	Rows     int64 `json:"rows"`
+}
+
+func (s *server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	var req observeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding rows: %w", err))
+		return
+	}
+	d, q := s.eng.Dim(), s.eng.Alphabet()
+	rows := make([]words.Word, len(req.Rows))
+	for i, raw := range req.Rows {
+		if len(raw) != d {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("row %d has %d symbols, want %d", i, len(raw), d))
+			return
+		}
+		row := words.Word(raw)
+		if err := row.Validate(q); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("row %d: %w", i, err))
+			return
+		}
+		rows[i] = row
+	}
+	// Validate-all-then-observe-all: a bad batch changes nothing.
+	for _, row := range rows {
+		s.eng.Observe(row)
+	}
+	writeJSON(w, observeResponse{Accepted: len(rows), Rows: s.eng.Rows()})
+}
+
+// pushResponse reports a merged remote summary.
+type pushResponse struct {
+	RowsMerged int64 `json:"rows_merged"`
+	Rows       int64 `json:"rows"`
+}
+
+func (s *server) handlePush(w http.ResponseWriter, r *http.Request) {
+	blob, err := io.ReadAll(r.Body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("reading push body: %w", err))
+		return
+	}
+	sum, err := core.UnmarshalSummary(blob)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, core.ErrIncompatibleMerge) {
+			status = http.StatusConflict
+		}
+		httpError(w, status, err)
+		return
+	}
+	if err := s.eng.Absorb(sum); err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, core.ErrIncompatibleMerge) {
+			status = http.StatusConflict
+		}
+		httpError(w, status, err)
+		return
+	}
+	writeJSON(w, pushResponse{RowsMerged: sum.Rows(), Rows: s.eng.Rows()})
+}
+
+func (s *server) handleSummary(w http.ResponseWriter, r *http.Request) {
+	blob, err := s.eng.MarshalBinary()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", fmt.Sprint(len(blob)))
+	_, _ = w.Write(blob)
+}
+
+// queryRequest is the /v1/query body: a batch answered against one
+// consistent merged snapshot.
+type queryRequest struct {
+	Queries []querySpec `json:"queries"`
+}
+
+// querySpec is one question; kind selects which other fields apply.
+type querySpec struct {
+	// Kind is "f0", "fp", "freq", or "hh".
+	Kind string `json:"kind"`
+	// Cols is the projection C as column indices.
+	Cols []int `json:"cols"`
+	// P is the moment order (fp) or norm order (hh).
+	P float64 `json:"p,omitempty"`
+	// Phi is the heavy-hitter threshold (hh).
+	Phi float64 `json:"phi,omitempty"`
+	// Pattern is the point pattern (freq).
+	Pattern []uint16 `json:"pattern,omitempty"`
+}
+
+// hitJSON is one reported heavy hitter.
+type hitJSON struct {
+	Pattern  []uint16 `json:"pattern"`
+	Estimate float64  `json:"estimate"`
+}
+
+// resultJSON is the answer to one query. Value is always emitted — a
+// legitimate answer of 0 must stay distinguishable from no answer.
+type resultJSON struct {
+	Value       float64   `json:"value"`
+	Hits        []hitJSON `json:"hits,omitempty"`
+	Error       string    `json:"error,omitempty"`
+	Unsupported bool      `json:"unsupported,omitempty"`
+	Cached      bool      `json:"cached,omitempty"`
+}
+
+// queryResponse position-matches the request's queries.
+type queryResponse struct {
+	Results []resultJSON `json:"results"`
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding queries: %w", err))
+		return
+	}
+	if len(req.Queries) == 0 {
+		httpError(w, http.StatusBadRequest, errors.New("empty query batch"))
+		return
+	}
+	d := s.eng.Dim()
+	batch := make([]engine.Query, len(req.Queries))
+	for i, spec := range req.Queries {
+		c, err := words.NewColumnSet(d, spec.Cols...)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("query %d: %w", i, err))
+			return
+		}
+		eq := engine.Query{Cols: c, P: spec.P, Phi: spec.Phi}
+		switch spec.Kind {
+		case "f0":
+			eq.Kind = engine.KindF0
+		case "fp":
+			eq.Kind = engine.KindFp
+		case "freq":
+			eq.Kind = engine.KindFrequency
+			eq.Pattern = words.Word(spec.Pattern)
+		case "hh":
+			eq.Kind = engine.KindHeavyHitters
+		default:
+			httpError(w, http.StatusBadRequest, fmt.Errorf("query %d: unknown kind %q", i, spec.Kind))
+			return
+		}
+		batch[i] = eq
+	}
+	results := s.eng.QueryBatch(batch)
+	resp := queryResponse{Results: make([]resultJSON, len(results))}
+	for i, res := range results {
+		out := resultJSON{Value: res.Value, Cached: res.Cached}
+		if res.Err != nil {
+			out.Error = res.Err.Error()
+			out.Unsupported = errors.Is(res.Err, core.ErrUnsupported)
+		}
+		for _, h := range res.Hits {
+			out.Hits = append(out.Hits, hitJSON{Pattern: h.Pattern, Estimate: h.Estimate})
+		}
+		resp.Results[i] = out
+	}
+	writeJSON(w, resp)
+}
+
+// statsResponse is the /v1/stats body.
+type statsResponse struct {
+	Name      string `json:"name"`
+	Dim       int    `json:"dim"`
+	Alphabet  int    `json:"alphabet"`
+	Rows      int64  `json:"rows"`
+	Shards    int    `json:"shards"`
+	SizeBytes int    `json:"size_bytes"`
+	Wire      int    `json:"wire_version"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, statsResponse{
+		Name:      s.eng.Name(),
+		Dim:       s.eng.Dim(),
+		Alphabet:  s.eng.Alphabet(),
+		Rows:      s.eng.Rows(),
+		Shards:    s.eng.NumShards(),
+		SizeBytes: s.eng.SizeBytes(),
+		Wire:      core.WireVersion,
+	})
+}

@@ -1,6 +1,7 @@
 package projfreq_test
 
 import (
+	"errors"
 	"fmt"
 
 	projfreq "repro"
@@ -62,4 +63,38 @@ func ExampleNewNetSummary() {
 	fmt.Printf("distinct patterns on {0,1}: %.0f\n", f0)
 	// Output:
 	// distinct patterns on {0,1}: 4
+}
+
+// Example_serialization shows the wire format behind cmd/projfreqd:
+// summaries serialize to self-describing binary blobs that another
+// process can decode, merge, and query — the answers match a single
+// summary over the concatenated stream.
+func Example_serialization() {
+	const d, q = 4, 2
+	writerA, _ := projfreq.NewExactSummary(d, q)
+	writerB, _ := projfreq.NewExactSummary(d, q)
+	// Two writer processes observe disjoint shards of the stream.
+	writerA.Observe(projfreq.Word{1, 0, 1, 0})
+	writerA.Observe(projfreq.Word{1, 0, 0, 0})
+	writerB.Observe(projfreq.Word{1, 0, 1, 1})
+	writerB.Observe(projfreq.Word{0, 1, 1, 1})
+	blobA, _ := projfreq.MarshalSummary(writerA)
+	blobB, _ := projfreq.MarshalSummary(writerB)
+
+	// The reader sees only the blobs: decode, merge, query.
+	reader, _ := projfreq.UnmarshalSummary(blobA)
+	fromB, _ := projfreq.UnmarshalSummary(blobB)
+	if err := reader.(projfreq.Mergeable).Merge(fromB); err != nil {
+		panic(err)
+	}
+	c, _ := projfreq.NewColumnSet(d, 0, 1)
+	f, _ := reader.(projfreq.FrequencyQuerier).Frequency(c, projfreq.Word{1, 0})
+	fmt.Printf("rows=%d f((1 0) on {0,1})=%.0f\n", reader.Rows(), f)
+
+	// Corrupt blobs fail typed, never panic.
+	_, err := projfreq.UnmarshalSummary(blobA[:10])
+	fmt.Println("truncated blob rejected:", errors.Is(err, projfreq.ErrBadEncoding))
+	// Output:
+	// rows=4 f((1 0) on {0,1})=3
+	// truncated blob rejected: true
 }

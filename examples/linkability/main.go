@@ -34,7 +34,10 @@ func main() {
 	}
 	d, q := src.Dim(), src.Alphabet()
 
-	exact := projfreq.NewExactSummary(d, q)
+	exact, err := projfreq.NewExactSummary(d, q)
+	if err != nil {
+		log.Fatal(err)
+	}
 	net, err := projfreq.NewNetSummary(d, q, projfreq.NetConfig{
 		Alpha: 0.21, Epsilon: 0.1, Seed: seed,
 	})

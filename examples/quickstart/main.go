@@ -18,7 +18,10 @@ func main() {
 	)
 
 	// Three summaries with different space/guarantee profiles.
-	exact := projfreq.NewExactSummary(d, q)
+	exact, err := projfreq.NewExactSummary(d, q)
+	if err != nil {
+		log.Fatal(err)
+	}
 	sample, err := projfreq.NewSampleSummary(d, q, 0.02, 0.01, seed)
 	if err != nil {
 		log.Fatal(err)

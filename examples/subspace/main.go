@@ -31,7 +31,10 @@ func main() {
 		log.Fatal(err)
 	}
 
-	sum := projfreq.NewExactSummary(d, q)
+	sum, err := projfreq.NewExactSummary(d, q)
+	if err != nil {
+		log.Fatal(err)
+	}
 	for {
 		w, ok := src.Next()
 		if !ok {

@@ -12,7 +12,10 @@ import (
 func buildAll(t *testing.T, src RowSource) (*testing.T, Summary, Summary, Summary) {
 	t.Helper()
 	d, q := src.Dim(), src.Alphabet()
-	exact := NewExactSummary(d, q)
+	exact, err := NewExactSummary(d, q)
+	if err != nil {
+		t.Fatal(err)
+	}
 	sample, err := NewSampleSummary(d, q, 0.03, 0.01, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -113,7 +116,11 @@ func TestPublicAPICapabilityMatrix(t *testing.T) {
 	if _, ok := netAny.(LpSampleQuerier); ok {
 		t.Fatal("net summary must not answer lp sampling (Theorem 5.5)")
 	}
-	var exAny interface{} = NewExactSummary(4, 2)
+	exOnly, err := NewExactSummary(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var exAny interface{} = exOnly
 	for _, ok := range []bool{
 		is[F0Querier](exAny), is[FpQuerier](exAny), is[FrequencyQuerier](exAny),
 		is[HeavyHitterQuerier](exAny), is[LpSampleQuerier](exAny),
@@ -166,7 +173,10 @@ func TestLowerBoundStoryEndToEnd(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ex := NewExactSummary(12, 6)
+		ex, err := NewExactSummary(12, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
 		for {
 			w, ok := stream.Next()
 			if !ok {

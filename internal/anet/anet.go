@@ -33,7 +33,7 @@ func NewNet(d int, alpha float64) (*Net, error) {
 	if d < 1 {
 		return nil, fmt.Errorf("anet: dimension %d must be positive", d)
 	}
-	if alpha <= 0 || alpha >= 0.5 {
+	if !(alpha > 0 && alpha < 0.5) {
 		return nil, fmt.Errorf("anet: alpha %v outside (0, 1/2)", alpha)
 	}
 	half := float64(d) / 2

@@ -30,6 +30,7 @@ type Factory func(subsetID uint64) Estimator
 // an α-neighbour C′, inheriting the Lemma 6.4 rounding distortion.
 type MetaSummary struct {
 	net     *Net
+	factory Factory
 	masks   []uint64
 	subsets []words.ColumnSet
 	sk      []Estimator
@@ -41,7 +42,7 @@ type MetaSummary struct {
 // NewMetaSummary materializes the net (d ≤ 30 is required for
 // enumeration; the experiments use d ≤ 16) and one sketch per member.
 func NewMetaSummary(net *Net, factory Factory) (*MetaSummary, error) {
-	m := &MetaSummary{net: net}
+	m := &MetaSummary{net: net, factory: factory}
 	err := net.EnumerateMasks(func(mask uint64) bool {
 		m.masks = append(m.masks, mask)
 		cs := maskColumns(mask, net.Dim())
@@ -201,14 +202,27 @@ func (m *MetaSummary) MarshalSketches() ([]byte, error) {
 }
 
 // UnmarshalSketches restores member sketch state from a
-// MarshalSketches message. The receiver must have been built with the
-// same net and a factory producing sketches that implement
-// encoding.BinaryUnmarshaler; this is Bob's decoding step in the
-// communication experiments.
+// MarshalSketches message; this is Bob's decoding step in the
+// communication experiments and the summary layer's net decoding.
+//
+// The receiver must have been freshly built with the same net and
+// factory (no rows observed). When the member sketches support
+// merging (Mergeable), each message sketch is decoded into a new
+// factory-made instance and folded into the corresponding empty
+// member, which both reproduces the serialized state exactly and
+// rejects message sketches whose parameters contradict what the
+// factory derives for that member — the validation the summary
+// layer's wire decoding relies on. Members without merge support are
+// overwritten in place, unvalidated.
 func (m *MetaSummary) UnmarshalSketches(data []byte) error {
 	off := 0
 	for i, s := range m.sk {
-		bu, ok := s.(encoding.BinaryUnmarshaler)
+		target := s
+		mg, validated := s.(Mergeable)
+		if validated {
+			target = m.factory(m.masks[i])
+		}
+		bu, ok := target.(encoding.BinaryUnmarshaler)
 		if !ok {
 			return fmt.Errorf("anet: sketch %d does not deserialize", i)
 		}
@@ -222,6 +236,11 @@ func (m *MetaSummary) UnmarshalSketches(data []byte) error {
 		}
 		if err := bu.UnmarshalBinary(data[off : off+n]); err != nil {
 			return fmt.Errorf("anet: sketch %d: %w", i, err)
+		}
+		if validated {
+			if err := mg.MergeEstimator(target); err != nil {
+				return fmt.Errorf("anet: sketch %d contradicts its factory parameters: %w", i, err)
+			}
 		}
 		off += n
 	}

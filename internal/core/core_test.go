@@ -23,6 +23,16 @@ func mustSample(t *testing.T, d, q, size int, seed uint64, opts ...SampleOption)
 
 // testData builds a deterministic skewed table: pattern classes with
 // known structure over d=10 binary columns.
+// mustExact builds an exact summary or fails the test.
+func mustExact(t testing.TB, d, q int) *Exact {
+	t.Helper()
+	e, err := NewExact(d, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
 func testData(n int, seed uint64) *words.Table {
 	src := rng.New(seed)
 	tb := words.NewTable(10, 2)
@@ -58,7 +68,7 @@ func feed(s Summary, tb *words.Table) {
 
 func TestExactAnswersEverything(t *testing.T) {
 	tb := testData(2000, 1)
-	e := NewExact(10, 2)
+	e := mustExact(t, 10, 2)
 	feed(e, tb)
 	if e.Rows() != 2000 || e.Dim() != 10 || e.Alphabet() != 2 {
 		t.Fatalf("shape: %d %d %d", e.Rows(), e.Dim(), e.Alphabet())
@@ -89,7 +99,7 @@ func TestExactAnswersEverything(t *testing.T) {
 
 func TestExactSampleLpMatchesDistribution(t *testing.T) {
 	tb := testData(2000, 2)
-	e := NewExact(10, 2)
+	e := mustExact(t, 10, 2)
 	feed(e, tb)
 	c := words.MustColumnSet(10, 0, 1, 2)
 	ref := freq.FromTable(tb, c)
@@ -116,7 +126,7 @@ func TestExactSampleLpMatchesDistribution(t *testing.T) {
 }
 
 func TestExactQueryValidation(t *testing.T) {
-	e := NewExact(4, 2)
+	e := mustExact(t, 4, 2)
 	e.Observe(words.Word{0, 1, 0, 1})
 	if _, err := e.F0(words.MustColumnSet(5, 0)); err == nil {
 		t.Fatal("dimension mismatch must error")
@@ -364,13 +374,14 @@ func TestSubsetSummaryBudget(t *testing.T) {
 func TestSummaryInterfaceCompliance(t *testing.T) {
 	// Compile-time and runtime checks that each summary implements
 	// the intended capability set.
-	var _ Summary = NewExact(4, 2)
-	var _ F0Querier = NewExact(4, 2)
-	var _ FpQuerier = NewExact(4, 2)
-	var _ FrequencyQuerier = NewExact(4, 2)
-	var _ HeavyHitterQuerier = NewExact(4, 2)
-	var _ LpSampleQuerier = NewExact(4, 2)
-	var _ Mergeable = NewExact(4, 2)
+	ex := mustExact(t, 4, 2)
+	var _ Summary = ex
+	var _ F0Querier = ex
+	var _ FpQuerier = ex
+	var _ FrequencyQuerier = ex
+	var _ HeavyHitterQuerier = ex
+	var _ LpSampleQuerier = ex
+	var _ Mergeable = ex
 
 	smp := mustSample(t, 4, 2, 4, 1)
 	var _ Summary = smp
@@ -396,7 +407,7 @@ func TestSummaryInterfaceCompliance(t *testing.T) {
 	var _ F0Querier = sub
 	var _ Mergeable = sub
 
-	for _, s := range []Summary{NewExact(4, 2), smp, nt, sub} {
+	for _, s := range []Summary{mustExact(t, 4, 2), smp, nt, sub} {
 		if s.Name() == "" {
 			t.Fatal("summaries must be named")
 		}

@@ -10,8 +10,20 @@ import (
 var ErrInvalidParam = errors.New("core: invalid parameter")
 
 // ErrIncompatibleMerge is the sentinel wrapped when two summaries
-// cannot be merged — different kinds, shapes, sizes, or seeds.
+// cannot be merged — different kinds, shapes, sizes, or seeds. It is
+// also wrapped when a serialized blob of one summary kind is decoded
+// into a receiver of another kind, the wire-level flavour of the same
+// mismatch.
 var ErrIncompatibleMerge = errors.New("core: incompatible summaries")
+
+// ErrBadEncoding is the sentinel wrapped by every decode-time
+// rejection of a malformed summary blob: bad magic, unsupported
+// version, truncation, trailing bytes, or payloads whose internal
+// structure contradicts their header. Degenerate shape parameters in
+// an otherwise well-formed envelope wrap ErrInvalidParam instead, and
+// kind mismatches wrap ErrIncompatibleMerge, so decode failures land
+// in the same error taxonomy construction and merging already use.
+var ErrBadEncoding = errors.New("core: malformed summary encoding")
 
 // ParamError reports a rejected construction parameter: which summary
 // kind refused it, which parameter, the offending value, and why. It
@@ -43,6 +55,24 @@ func validateShape(summary string, d, q int) error {
 	}
 	if q < 2 {
 		return badParam(summary, "q", q, "must be at least 2")
+	}
+	return nil
+}
+
+// maxSketchRetention bounds the per-sketch size any accuracy
+// parameter may demand (KMV/BJKST retention ≈ 1/ε², KHLL value
+// samples). It is enforced at construction, so every constructible
+// summary decodes, and at decode, so a crafted blob cannot make the
+// decoder allocate beyond it.
+const maxSketchRetention = 1 << 26
+
+// validateEpsRetention rejects accuracy parameters so small that the
+// sketches they size would exceed maxSketchRetention — including the
+// denormal-ε corner where 1/ε² overflows every integer type.
+func validateEpsRetention(summary string, eps float64) error {
+	if r := 1 / (eps * eps); !(r <= maxSketchRetention) {
+		return badParam(summary, "eps", eps,
+			fmt.Sprintf("demands sketches beyond the retention limit %d", maxSketchRetention))
 	}
 	return nil
 }

@@ -17,8 +17,17 @@ type Exact struct {
 }
 
 // NewExact returns an exact summary for d columns over alphabet [q].
-func NewExact(d, q int) *Exact {
-	return &Exact{table: words.NewTable(d, q)}
+// Degenerate shapes (d < 1, q < 2 or beyond words.MaxAlphabet) are
+// rejected with an error wrapping ErrInvalidParam, matching the other
+// summary constructors.
+func NewExact(d, q int) (*Exact, error) {
+	if err := validateShape("exact", d, q); err != nil {
+		return nil, err
+	}
+	if q > words.MaxAlphabet {
+		return nil, badParam("exact", "q", q, "exceeds words.MaxAlphabet")
+	}
+	return &Exact{table: words.NewTable(d, q)}, nil
 }
 
 // Observe appends a copy of the row.

@@ -1,0 +1,726 @@
+package core
+
+import (
+	"encoding"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/anet"
+	"repro/internal/sample"
+	"repro/internal/sketch"
+	"repro/internal/wire"
+	"repro/internal/words"
+)
+
+// This file is the summary wire format: every core summary implements
+// encoding.BinaryMarshaler / encoding.BinaryUnmarshaler behind a
+// shared, self-describing envelope, so summaries built in one process
+// can be shipped to and merged in another (cmd/projfreqd's push path).
+//
+// Envelope layout (little-endian, fixed width, 36 bytes):
+//
+//	offset size field
+//	0      4    magic "PFQS"
+//	4      1    format version (WireVersion)
+//	5      1    summary kind (SummaryKind)
+//	6      2    reserved, must be zero
+//	8      4    dimension d
+//	12     4    alphabet size Q
+//	16     8    construction seed (zero when the kind carries its
+//	            randomness inside the payload)
+//	24     8    observed row count n
+//	32     4    payload length
+//	36     …    kind-specific payload (see ARCHITECTURE.md)
+//
+// Decode-side failures are typed, never panics: structural damage
+// wraps ErrBadEncoding, degenerate header shapes wrap ErrInvalidParam
+// (via ParamError), and decoding a blob into a receiver of another
+// kind wraps ErrIncompatibleMerge.
+//
+// Decoding guarantees two further invariants:
+//
+//   - Allocation is proportional to the blob: claimed element counts
+//     are validated against the remaining payload before anything is
+//     allocated.
+//   - A decoded summary's sketch parameters are exactly those its
+//     configuration derives. Sketch state is restored by merging the
+//     decoded state into freshly constructed (empty, config-derived)
+//     sketches, so a blob whose inner sketch headers contradict its
+//     envelope is rejected — which is what makes merges between any
+//     two decodable summaries of equal configuration atomic: they can
+//     only fail at the up-front configuration checks, before any
+//     state is touched.
+
+// WireVersion is the summary wire-format version emitted by
+// MarshalBinary and required by UnmarshalBinary.
+const WireVersion = 1
+
+// envelopeSize is the fixed byte length of the wire envelope.
+const envelopeSize = 36
+
+// wireMagic opens every serialized summary.
+var wireMagic = [4]byte{'P', 'F', 'Q', 'S'}
+
+// SummaryKind identifies a summary type on the wire.
+type SummaryKind uint8
+
+// The wire-format summary kinds.
+const (
+	KindExact SummaryKind = iota + 1
+	KindSample
+	KindNet
+	KindSubset
+	KindRegistered
+)
+
+// String names the kind as used in error messages and specs.
+func (k SummaryKind) String() string {
+	switch k {
+	case KindExact:
+		return "exact"
+	case KindSample:
+		return "sample"
+	case KindNet:
+		return "net"
+	case KindSubset:
+		return "subset"
+	case KindRegistered:
+		return "registered"
+	default:
+		return fmt.Sprintf("SummaryKind(%d)", uint8(k))
+	}
+}
+
+// maxDecodeDim caps the dimension a decoder will accept; legitimate
+// summaries stay far below (nets stop at d = 30, registered at 64).
+const maxDecodeDim = 1 << 20
+
+func badEncoding(format string, args ...interface{}) error {
+	return fmt.Errorf("%w: %s", ErrBadEncoding, fmt.Sprintf(format, args...))
+}
+
+func kindMismatch(want, got SummaryKind) error {
+	return fmt.Errorf("%w: cannot decode a %s blob into a %s summary", ErrIncompatibleMerge, got, want)
+}
+
+// envelope is the decoded wire header.
+type envelope struct {
+	kind    SummaryKind
+	d, q    int
+	seed    uint64
+	rows    int64
+	payload []byte
+}
+
+// appendEnvelope writes the 36-byte header for the given payload. The
+// payload length must fit the envelope's u32 length field; callers
+// surface the error instead of emitting a silently truncated blob.
+func appendEnvelope(kind SummaryKind, d, q int, seed uint64, rows int64, payload []byte) ([]byte, error) {
+	if int64(len(payload)) > int64(^uint32(0)) {
+		return nil, fmt.Errorf("core: %s summary payload of %d bytes exceeds the wire format's 4 GiB limit", kind, len(payload))
+	}
+	w := wire.NewWriter(envelopeSize + len(payload))
+	w.Raw(wireMagic[:])
+	w.U8(WireVersion)
+	w.U8(uint8(kind))
+	w.U16(0) // reserved
+	w.U32(uint32(d))
+	w.U32(uint32(q))
+	w.U64(seed)
+	w.I64(rows)
+	w.U32(uint32(len(payload)))
+	w.Raw(payload)
+	return w.Bytes(), nil
+}
+
+// parseEnvelope validates the header and returns it with the payload.
+func parseEnvelope(data []byte) (envelope, error) {
+	if len(data) < envelopeSize {
+		return envelope{}, badEncoding("blob of %d bytes is shorter than the %d-byte envelope", len(data), envelopeSize)
+	}
+	if string(data[:4]) != string(wireMagic[:]) {
+		return envelope{}, badEncoding("bad magic %q", data[:4])
+	}
+	if v := data[4]; v != WireVersion {
+		return envelope{}, badEncoding("unsupported format version %d (have %d)", v, WireVersion)
+	}
+	kind := SummaryKind(data[5])
+	if kind < KindExact || kind > KindRegistered {
+		return envelope{}, badEncoding("unknown summary kind %d", uint8(kind))
+	}
+	if data[6] != 0 || data[7] != 0 {
+		return envelope{}, badEncoding("non-zero reserved envelope bytes")
+	}
+	d := int(binary.LittleEndian.Uint32(data[8:]))
+	q := int(binary.LittleEndian.Uint32(data[12:]))
+	if err := validateShape(kind.String(), d, q); err != nil {
+		return envelope{}, err
+	}
+	if d > maxDecodeDim || q > words.MaxAlphabet {
+		return envelope{}, badEncoding("implausible shape d=%d q=%d", d, q)
+	}
+	seed := binary.LittleEndian.Uint64(data[16:])
+	rows := int64(binary.LittleEndian.Uint64(data[24:]))
+	if rows < 0 {
+		return envelope{}, badEncoding("negative row count %d", rows)
+	}
+	plen := int(binary.LittleEndian.Uint32(data[32:]))
+	if plen != len(data)-envelopeSize {
+		return envelope{}, badEncoding("payload length %d does not match %d remaining bytes", plen, len(data)-envelopeSize)
+	}
+	return envelope{kind: kind, d: d, q: q, seed: seed, rows: rows, payload: data[envelopeSize:]}, nil
+}
+
+// payloadReader wraps the payload in a reader whose truncation errors
+// wrap ErrBadEncoding.
+func payloadReader(env envelope) *wire.Reader {
+	return wire.NewReader(env.payload, ErrBadEncoding)
+}
+
+// MarshalSummary serializes any wire-capable summary. It is a
+// convenience over the encoding.BinaryMarshaler every core summary
+// (and the engine's sharded snapshot) implements.
+func MarshalSummary(s Summary) ([]byte, error) {
+	bm, ok := s.(encoding.BinaryMarshaler)
+	if !ok {
+		return nil, fmt.Errorf("core: %s summary does not serialize", s.Name())
+	}
+	return bm.MarshalBinary()
+}
+
+// UnmarshalSummary decodes any summary from its wire form, dispatching
+// on the envelope's kind byte. Corrupt input returns an error wrapping
+// ErrBadEncoding (or ErrInvalidParam for degenerate shape headers);
+// the input is never retained.
+func UnmarshalSummary(data []byte) (Summary, error) {
+	env, err := parseEnvelope(data)
+	if err != nil {
+		return nil, err
+	}
+	switch env.kind {
+	case KindExact:
+		return decodeExact(env)
+	case KindSample:
+		return decodeSample(env)
+	case KindNet:
+		return decodeNet(env)
+	case KindSubset:
+		return decodeSubset(env)
+	default:
+		return decodeRegistered(env)
+	}
+}
+
+// --- Exact ---
+
+// MarshalBinary encodes the summary: the envelope followed by the
+// retained rows, row-major, one u16 per symbol.
+func (e *Exact) MarshalBinary() ([]byte, error) {
+	d := e.Dim()
+	n := e.table.NumRows()
+	w := wire.NewWriter(2 * d * n)
+	for i := 0; i < n; i++ {
+		for _, x := range e.table.Row(i) {
+			w.U16(x)
+		}
+	}
+	return appendEnvelope(KindExact, d, e.Alphabet(), 0, e.Rows(), w.Bytes())
+}
+
+func decodeExact(env envelope) (*Exact, error) {
+	// Division-based check: rows × d × 2 must equal the payload length
+	// exactly, with no way for a huge claimed row count to overflow.
+	rowBytes := int64(2 * env.d)
+	if int64(len(env.payload))%rowBytes != 0 || env.rows != int64(len(env.payload))/rowBytes {
+		return nil, badEncoding("exact payload of %d bytes for %d rows × %d cols", len(env.payload), env.rows, env.d)
+	}
+	e, err := NewExact(env.d, env.q)
+	if err != nil {
+		return nil, err
+	}
+	r := payloadReader(env)
+	row := make(words.Word, env.d)
+	for i := int64(0); i < env.rows; i++ {
+		for j := range row {
+			row[j] = r.U16()
+		}
+		if err := row.Validate(env.q); err != nil {
+			return nil, badEncoding("exact row %d: %v", i, err)
+		}
+		e.Observe(row)
+	}
+	return e, r.Done()
+}
+
+// UnmarshalBinary decodes an exact summary produced by MarshalBinary,
+// replacing the receiver's state.
+func (e *Exact) UnmarshalBinary(data []byte) error {
+	env, err := parseEnvelope(data)
+	if err != nil {
+		return err
+	}
+	if env.kind != KindExact {
+		return kindMismatch(KindExact, env.kind)
+	}
+	dec, err := decodeExact(env)
+	if err != nil {
+		return err
+	}
+	*e = *dec
+	return nil
+}
+
+// --- Sample ---
+
+// Sampler mode bytes on the wire.
+const (
+	wireSampleWR        = 0
+	wireSampleReservoir = 1
+)
+
+// MarshalBinary encodes the summary: the envelope, a sampler-mode
+// byte, and the sampler's own serialization (rows plus generator
+// state, so merges of a decoded summary match the original exactly).
+func (s *Sample) MarshalBinary() ([]byte, error) {
+	var (
+		blob []byte
+		err  error
+		mode uint8 = wireSampleWR
+	)
+	if s.reservoir {
+		mode = wireSampleReservoir
+		blob, err = s.rs.MarshalBinary()
+	} else {
+		blob, err = s.wr.MarshalBinary()
+	}
+	if err != nil {
+		return nil, err
+	}
+	payload := append([]byte{mode}, blob...)
+	return appendEnvelope(KindSample, s.d, s.q, 0, s.Rows(), payload)
+}
+
+func decodeSample(env envelope) (*Sample, error) {
+	if len(env.payload) < 1 {
+		return nil, badEncoding("sample payload missing mode byte")
+	}
+	mode, blob := env.payload[0], env.payload[1:]
+	s := &Sample{d: env.d, q: env.q}
+	var err error
+	switch mode {
+	case wireSampleWR:
+		s.wr = &sample.WithReplacement{}
+		err = s.wr.UnmarshalBinary(blob)
+	case wireSampleReservoir:
+		s.reservoir = true
+		s.rs = &sample.Reservoir{}
+		err = s.rs.UnmarshalBinary(blob)
+	default:
+		return nil, badEncoding("unknown sampler mode %d", mode)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadEncoding, err)
+	}
+	if s.Rows() != env.rows {
+		return nil, badEncoding("sampler has seen %d rows, envelope says %d", s.Rows(), env.rows)
+	}
+	for i, row := range s.rows() {
+		if row == nil {
+			continue
+		}
+		if len(row) != env.d {
+			return nil, badEncoding("sample row %d has %d symbols, dimension is %d", i, len(row), env.d)
+		}
+		if err := row.Validate(env.q); err != nil {
+			return nil, badEncoding("sample row %d: %v", i, err)
+		}
+	}
+	return s, nil
+}
+
+// UnmarshalBinary decodes a sampling summary produced by
+// MarshalBinary, replacing the receiver's state.
+func (s *Sample) UnmarshalBinary(data []byte) error {
+	env, err := parseEnvelope(data)
+	if err != nil {
+		return err
+	}
+	if env.kind != KindSample {
+		return kindMismatch(KindSample, env.kind)
+	}
+	dec, err := decodeSample(env)
+	if err != nil {
+		return err
+	}
+	*s = *dec
+	return nil
+}
+
+// --- Net ---
+
+// momentOrders returns the maintained moment orders, ascending: the
+// canonical order moments are laid out in on the wire.
+func (s *Net) momentOrders() []float64 {
+	ps := make([]float64, 0, len(s.fp))
+	for p := range s.fp {
+		ps = append(ps, p)
+	}
+	sort.Float64s(ps)
+	return ps
+}
+
+// MarshalBinary encodes the summary: the envelope, the NetConfig, and
+// one length-prefixed sketch-state block per maintained problem (F0
+// first, then each moment order ascending). Sketch states are the
+// per-member serializations of internal/sketch, in net-mask order.
+func (s *Net) MarshalBinary() ([]byte, error) {
+	w := &wire.Writer{}
+	w.F64(s.cfg.Alpha)
+	w.F64(s.cfg.Epsilon)
+	w.U8(uint8(s.cfg.F0Sketch))
+	w.U32(uint32(s.cfg.StableReps))
+	ps := s.momentOrders()
+	w.U32(uint32(len(ps)))
+	for _, p := range ps {
+		w.F64(p)
+	}
+	f0, err := s.f0.MarshalSketches()
+	if err != nil {
+		return nil, err
+	}
+	w.Block(f0)
+	for _, p := range ps {
+		blob, err := s.fp[p].MarshalSketches()
+		if err != nil {
+			return nil, err
+		}
+		w.Block(blob)
+	}
+	return appendEnvelope(KindNet, s.d, s.q, s.cfg.Seed, s.rows, w.Bytes())
+}
+
+func decodeNet(env envelope) (*Net, error) {
+	r := payloadReader(env)
+	cfg := NetConfig{
+		Alpha:      r.F64(),
+		Epsilon:    r.F64(),
+		F0Sketch:   F0SketchKind(r.U8()),
+		StableReps: int(r.U32()),
+		Seed:       env.seed,
+	}
+	nMoments := int(r.U32())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if cfg.F0Sketch < F0KMV || cfg.F0Sketch > F0BJKST {
+		return nil, badEncoding("unknown F0 sketch kind %d", cfg.F0Sketch)
+	}
+	if nMoments*8 > r.Remaining() {
+		return nil, badEncoding("moment list of %d entries in %d payload bytes", nMoments, r.Remaining())
+	}
+	for i := 0; i < nMoments; i++ {
+		p := r.F64()
+		if i > 0 && p <= cfg.Moments[i-1] {
+			return nil, badEncoding("moment orders not strictly ascending")
+		}
+		cfg.Moments = append(cfg.Moments, p)
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	// Bound the reconstruction cost before allocating |N| sketches:
+	// the member count follows from (d, alpha) alone, and a legal blob
+	// must carry every member's serialized sketch — at least 21 bytes
+	// for an F0 sketch (4-byte frame + smallest header) and, for each
+	// moment, a p-stable block of 25 + 8·reps bytes. This keeps the
+	// decoder's allocation proportional to the blob even when the
+	// header claims the largest permitted repetition count.
+	if nMoments > maxNetMoments {
+		return nil, badEncoding("net with %d moment orders (limit %d)", nMoments, maxNetMoments)
+	}
+	probe, err := anetProbe(env.d, cfg.Alpha)
+	if err != nil {
+		return nil, badEncoding("net reconstruction: %v", err)
+	}
+	// Float arithmetic so that NaN or denormal header values poison
+	// the comparison toward rejection instead of overflowing ints.
+	effReps := float64(cfg.StableReps)
+	if cfg.StableReps == 0 && nMoments > 0 {
+		eps := cfg.Epsilon
+		if eps == 0 {
+			eps = 0.1 // NewNet's default, mirrored
+		}
+		rf := 6 / (eps * eps)
+		if !(rf <= maxStableReps) {
+			return nil, badEncoding("net epsilon %v implies an implausible repetition count", cfg.Epsilon)
+		}
+		// Mirror NewNet's integer truncation exactly, or the floor
+		// would overestimate and reject legal default-sized blobs.
+		effReps = float64(int(rf) + 3)
+	}
+	floor := float64(probe) * (21 + float64(nMoments)*(25+8*effReps))
+	if !(floor <= float64(r.Remaining())) {
+		return nil, badEncoding("net of %d members × %d moments needs ≥ %.0f payload bytes, have %d",
+			probe, nMoments, floor, r.Remaining())
+	}
+	// NewNet enforces the same member and repetition caps decoding
+	// relies on, so any constructible net round-trips.
+	s, err := NewNet(env.d, env.q, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%w: rebuilding net: %v", ErrBadEncoding, err)
+	}
+	if err := s.f0.UnmarshalSketches(r.Block()); err != nil {
+		if rerr := r.Err(); rerr != nil {
+			return nil, rerr
+		}
+		return nil, badEncoding("F0 sketch block: %v", err)
+	}
+	for _, p := range cfg.Moments {
+		if err := s.fp[p].UnmarshalSketches(r.Block()); err != nil {
+			if rerr := r.Err(); rerr != nil {
+				return nil, rerr
+			}
+			return nil, badEncoding("F_%g sketch block: %v", p, err)
+		}
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	s.rows = env.rows
+	return s, nil
+}
+
+// anetProbe returns |N| for a (d, α)-net without materializing any
+// member, so net decoding can refuse implausible headers cheaply.
+func anetProbe(d int, alpha float64) (int, error) {
+	if d > 30 {
+		return 0, fmt.Errorf("net dimension %d exceeds the enumeration limit 30", d)
+	}
+	n, err := anet.NewNet(d, alpha)
+	if err != nil {
+		return 0, err
+	}
+	return n.MemberCount()
+}
+
+// UnmarshalBinary decodes a net summary produced by MarshalBinary,
+// replacing the receiver's state.
+func (s *Net) UnmarshalBinary(data []byte) error {
+	env, err := parseEnvelope(data)
+	if err != nil {
+		return err
+	}
+	if env.kind != KindNet {
+		return kindMismatch(KindNet, env.kind)
+	}
+	dec, err := decodeNet(env)
+	if err != nil {
+		return err
+	}
+	*s = *dec
+	return nil
+}
+
+// --- Subset ---
+
+// MarshalBinary encodes the summary: the envelope, (t, ε), and one
+// length-prefixed KMV state per materialized subset in mask order.
+func (s *Subset) MarshalBinary() ([]byte, error) {
+	w := &wire.Writer{}
+	w.U32(uint32(s.t))
+	w.F64(s.eps)
+	w.U32(uint32(len(s.sk)))
+	for _, k := range s.sk {
+		blob, err := k.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		w.Block(blob)
+	}
+	return appendEnvelope(KindSubset, s.d, s.q, s.seed, s.rows, w.Bytes())
+}
+
+// restoreKMV decodes blob and folds it into dst, which must be a
+// freshly constructed (empty) sketch: the merge validates that the
+// blob's parameters match the configuration-derived ones, and merging
+// into an empty sketch reproduces the decoded state exactly.
+func restoreKMV(dst *sketch.KMV, blob []byte, rerr error) error {
+	if rerr != nil {
+		return rerr
+	}
+	var dec sketch.KMV
+	if err := dec.UnmarshalBinary(blob); err != nil {
+		return err
+	}
+	if err := dst.Merge(&dec); err != nil {
+		return fmt.Errorf("sketch state contradicts the summary configuration: %w", err)
+	}
+	return nil
+}
+
+func decodeSubset(env envelope) (*Subset, error) {
+	r := payloadReader(env)
+	t := int(r.U32())
+	eps := r.F64()
+	n := int(r.U32())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	// Every sketch block costs at least its 4-byte length prefix, so
+	// the claimed count bounds the enumeration before it runs; legal
+	// blobs always satisfy it, so any constructible subset summary
+	// round-trips.
+	if n < 1 || 4*n > r.Remaining() {
+		return nil, badEncoding("subset sketch count %d in %d payload bytes", n, r.Remaining())
+	}
+	s, err := NewSubset(env.d, env.q, t, eps, env.seed, n)
+	if err != nil {
+		return nil, fmt.Errorf("%w: rebuilding subset enumeration: %v", ErrBadEncoding, err)
+	}
+	if len(s.sk) != n {
+		return nil, badEncoding("blob carries %d sketches, C(%d,%d) = %d", n, env.d, t, len(s.sk))
+	}
+	for i := range s.sk {
+		if err := restoreKMV(s.sk[i], r.Block(), r.Err()); err != nil {
+			return nil, badEncoding("subset sketch %d: %v", i, err)
+		}
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	s.rows = env.rows
+	return s, nil
+}
+
+// UnmarshalBinary decodes a subset summary produced by MarshalBinary,
+// replacing the receiver's state.
+func (s *Subset) UnmarshalBinary(data []byte) error {
+	env, err := parseEnvelope(data)
+	if err != nil {
+		return err
+	}
+	if env.kind != KindSubset {
+		return kindMismatch(KindSubset, env.kind)
+	}
+	dec, err := decodeSubset(env)
+	if err != nil {
+		return err
+	}
+	*s = *dec
+	return nil
+}
+
+// --- Registered ---
+
+// MarshalBinary encodes the summary: the envelope, the
+// RegisteredConfig, the subset masks (ascending), and per subset a
+// length-prefixed KMV state and KHLL state.
+func (s *Registered) MarshalBinary() ([]byte, error) {
+	w := &wire.Writer{}
+	w.F64(s.cfg.Epsilon)
+	w.U32(uint32(s.cfg.KHLLValues))
+	w.U32(uint32(s.cfg.KHLLPrecision))
+	w.U32(uint32(len(s.masks)))
+	for _, m := range s.masks {
+		w.U64(m)
+	}
+	for i := range s.masks {
+		f0, err := s.f0[i].MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		w.Block(f0)
+		khll, err := s.khll[i].MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		w.Block(khll)
+	}
+	return appendEnvelope(KindRegistered, s.d, s.q, s.cfg.Seed, s.rows, w.Bytes())
+}
+
+func decodeRegistered(env envelope) (*Registered, error) {
+	r := payloadReader(env)
+	cfg := RegisteredConfig{
+		Epsilon:       r.F64(),
+		KHLLValues:    int(r.U32()),
+		KHLLPrecision: int(r.U32()),
+		Seed:          env.seed,
+	}
+	n := int(r.U32())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	// Each subset costs 8 mask bytes plus two 4-byte block prefixes.
+	if n < 1 || 16*n > r.Remaining() {
+		return nil, badEncoding("registered subset count %d in %d payload bytes", n, r.Remaining())
+	}
+	subsets := make([]words.ColumnSet, n)
+	prev := uint64(0)
+	for i := range subsets {
+		mask := r.U64()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		if i > 0 && mask <= prev {
+			return nil, badEncoding("registered masks not strictly ascending")
+		}
+		prev = mask
+		c, err := words.ColumnSetFromMask(mask, env.d)
+		if err != nil {
+			return nil, badEncoding("registered mask %#x: %v", mask, err)
+		}
+		subsets[i] = c
+	}
+	s, err := NewRegistered(env.d, env.q, subsets, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%w: rebuilding registered summary: %v", ErrBadEncoding, err)
+	}
+	for i := range s.masks {
+		if err := restoreKMV(s.f0[i], r.Block(), r.Err()); err != nil {
+			return nil, badEncoding("registered F0 sketch %d: %v", i, err)
+		}
+		if err := restoreKHLL(s.khll[i], r.Block(), r.Err()); err != nil {
+			return nil, badEncoding("registered KHLL sketch %d: %v", i, err)
+		}
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	s.rows = env.rows
+	return s, nil
+}
+
+// restoreKHLL is restoreKMV for KHLL sketches.
+func restoreKHLL(dst *sketch.KHLL, blob []byte, rerr error) error {
+	if rerr != nil {
+		return rerr
+	}
+	var dec sketch.KHLL
+	if err := dec.UnmarshalBinary(blob); err != nil {
+		return err
+	}
+	if err := dst.Merge(&dec); err != nil {
+		return fmt.Errorf("sketch state contradicts the summary configuration: %w", err)
+	}
+	return nil
+}
+
+// UnmarshalBinary decodes a registered summary produced by
+// MarshalBinary, replacing the receiver's state.
+func (s *Registered) UnmarshalBinary(data []byte) error {
+	env, err := parseEnvelope(data)
+	if err != nil {
+		return err
+	}
+	if env.kind != KindRegistered {
+		return kindMismatch(KindRegistered, env.kind)
+	}
+	dec, err := decodeRegistered(env)
+	if err != nil {
+		return err
+	}
+	*s = *dec
+	return nil
+}

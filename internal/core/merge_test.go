@@ -41,8 +41,8 @@ func mergeAll(t *testing.T, shards []Summary) Summary {
 
 func TestExactMergeEqualsUnion(t *testing.T) {
 	tb := testData(3000, 41)
-	whole := NewExact(10, 2)
-	shards := []Summary{NewExact(10, 2), NewExact(10, 2), NewExact(10, 2)}
+	whole := mustExact(t, 10, 2)
+	shards := []Summary{mustExact(t, 10, 2), mustExact(t, 10, 2), mustExact(t, 10, 2)}
 	splitFeed(whole, shards, tb)
 	merged := mergeAll(t, shards).(*Exact)
 	if merged.Rows() != whole.Rows() {
@@ -187,7 +187,7 @@ func TestMergeIncompatibilityChecks(t *testing.T) {
 	subA, _ := NewSubset(4, 2, 2, 0.3, 1, 0)
 	subB, _ := NewSubset(4, 2, 2, 0.3, 2, 0)
 
-	selfE := NewExact(4, 2)
+	selfE := mustExact(t, 4, 2)
 	cases := []struct {
 		name string
 		got  error
@@ -196,19 +196,19 @@ func TestMergeIncompatibilityChecks(t *testing.T) {
 		{"sample-self", sampleA.Merge(sampleA)},
 		{"net-self", netA.Merge(netA)},
 		{"subset-self", subA.Merge(subA)},
-		{"exact-vs-sample", NewExact(4, 2).Merge(sampleA)},
-		{"exact-shape", NewExact(4, 2).Merge(NewExact(5, 2))},
+		{"exact-vs-sample", mustExact(t, 4, 2).Merge(sampleA)},
+		{"exact-shape", mustExact(t, 4, 2).Merge(mustExact(t, 5, 2))},
 		{"sample-vs-net", sampleA.Merge(netA)},
 		{"sample-dim", sampleA.Merge(sampleB)},
 		{"sample-size", sampleA.Merge(sampleC)},
 		{"sample-mode", sampleA.Merge(sampleR)},
-		{"net-vs-exact", netA.Merge(NewExact(4, 2))},
+		{"net-vs-exact", netA.Merge(mustExact(t, 4, 2))},
 		{"net-moment-set", func() error {
 			a, _ := NewNet(4, 2, NetConfig{Alpha: 0.3, Moments: []float64{2}, StableReps: 40, Seed: 1})
 			b, _ := NewNet(4, 2, NetConfig{Alpha: 0.3, Seed: 1})
 			return a.Merge(b)
 		}()},
-		{"subset-vs-exact", subA.Merge(NewExact(4, 2))},
+		{"subset-vs-exact", subA.Merge(mustExact(t, 4, 2))},
 		{"subset-seed", subA.Merge(subB)},
 	}
 	for _, tc := range cases {

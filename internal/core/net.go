@@ -65,25 +65,62 @@ type Net struct {
 	rows int64
 }
 
+// Construction limits, shared with wire decoding so that any net a
+// constructor accepts can also be decoded: the summary may hold at
+// most maxNetMembers sketches per problem and each p-stable sketch at
+// most maxStableReps repetitions.
+const (
+	maxNetMembers = 1 << 22
+	maxStableReps = 1 << 21
+	maxNetMoments = 16
+)
+
 // NewNet builds the summary; d must be ≤ 30 (net enumeration), and in
 // practice experiments use d ≤ 16. Degenerate shapes and parameters
-// are rejected with errors wrapping ErrInvalidParam.
+// are rejected with errors wrapping ErrInvalidParam, as are
+// configurations whose net or sketch sizes exceed the construction
+// limits above.
 func NewNet(d, q int, cfg NetConfig) (*Net, error) {
 	if err := validateShape("net", d, q); err != nil {
 		return nil, err
 	}
-	if cfg.Alpha <= 0 || cfg.Alpha >= 0.5 {
+	if !(cfg.Alpha > 0 && cfg.Alpha < 0.5) {
 		return nil, badParam("net", "alpha", cfg.Alpha, "outside (0, 1/2)")
 	}
 	if cfg.Epsilon == 0 {
 		cfg.Epsilon = 0.1
 	}
-	if cfg.Epsilon <= 0 || cfg.Epsilon >= 1 {
+	if !(cfg.Epsilon > 0 && cfg.Epsilon < 1) {
 		return nil, badParam("net", "epsilon", cfg.Epsilon, "outside (0,1)")
+	}
+	if err := validateEpsRetention("net", cfg.Epsilon); err != nil {
+		return nil, err
+	}
+	if len(cfg.Moments) > maxNetMoments {
+		return nil, badParam("net", "moments", len(cfg.Moments),
+			fmt.Sprintf("exceeds the limit %d", maxNetMoments))
+	}
+	if cfg.StableReps < 0 || cfg.StableReps > maxStableReps {
+		return nil, badParam("net", "stablereps", cfg.StableReps,
+			fmt.Sprintf("outside [0, %d]", maxStableReps))
+	}
+	reps := cfg.StableReps
+	if reps == 0 {
+		reps = int(6/(cfg.Epsilon*cfg.Epsilon)) + 3
+	}
+	if len(cfg.Moments) > 0 && reps > maxStableReps {
+		return nil, badParam("net", "epsilon", cfg.Epsilon,
+			fmt.Sprintf("implies %d stable repetitions, above the limit %d", reps, maxStableReps))
 	}
 	n, err := anet.NewNet(d, cfg.Alpha)
 	if err != nil {
 		return nil, err
+	}
+	if count, err := n.MemberCount(); err != nil {
+		return nil, badParam("net", "alpha", cfg.Alpha, err.Error())
+	} else if count > maxNetMembers {
+		return nil, badParam("net", "alpha", cfg.Alpha,
+			fmt.Sprintf("yields a net of %d members, above the limit %d", count, maxNetMembers))
 	}
 	master := rng.New(cfg.Seed)
 	f0seed := master.Uint64()
@@ -103,17 +140,13 @@ func NewNet(d, q int, cfg NetConfig) (*Net, error) {
 	}
 	s := &Net{d: d, q: q, cfg: cfg, net: n, f0: f0, fp: make(map[float64]*anet.MetaSummary)}
 	for _, p := range cfg.Moments {
-		if p <= 0 || p > 2 {
+		if !(p > 0 && p <= 2) {
 			return nil, badParam("net", "moment", p, "outside (0,2]")
 		}
 		if _, dup := s.fp[p]; dup {
 			continue
 		}
 		pseed := master.Uint64()
-		reps := cfg.StableReps
-		if reps == 0 {
-			reps = int(6/(cfg.Epsilon*cfg.Epsilon)) + 3
-		}
 		p := p
 		meta, err := anet.NewMetaSummary(n, func(id uint64) anet.Estimator {
 			return &stableAdapter{sk: sketch.NewStable(p, reps, pseed^rng.Mix64(id))}
@@ -144,6 +177,13 @@ func (a *stableAdapter) MergeEstimator(o anet.Estimator) error {
 	}
 	return a.sk.Merge(other.sk)
 }
+
+// MarshalBinary forwards the underlying sketch's encoding, so moment
+// meta-summaries serialize like the F0 ones.
+func (a *stableAdapter) MarshalBinary() ([]byte, error) { return a.sk.MarshalBinary() }
+
+// UnmarshalBinary forwards the underlying sketch's decoding.
+func (a *stableAdapter) UnmarshalBinary(data []byte) error { return a.sk.UnmarshalBinary(data) }
 
 // The F0 sketch wrappers add anet.Mergeable dispatch on top of the
 // typed Merge each sketch already provides; they also forward binary

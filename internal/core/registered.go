@@ -18,6 +18,7 @@ import (
 // between this model and the paper's reveal-after-observation model.
 type Registered struct {
 	d, q    int
+	cfg     RegisteredConfig
 	masks   []uint64
 	subsets []words.ColumnSet
 	f0      []*sketch.KMV
@@ -49,8 +50,11 @@ func NewRegistered(d, q int, subsets []words.ColumnSet, cfg RegisteredConfig) (*
 	if cfg.Epsilon == 0 {
 		cfg.Epsilon = 0.05
 	}
-	if cfg.Epsilon <= 0 || cfg.Epsilon >= 1 {
+	if !(cfg.Epsilon > 0 && cfg.Epsilon < 1) {
 		return nil, fmt.Errorf("core: registered epsilon %v outside (0,1)", cfg.Epsilon)
+	}
+	if err := validateEpsRetention("registered", cfg.Epsilon); err != nil {
+		return nil, err
 	}
 	if cfg.KHLLValues == 0 {
 		cfg.KHLLValues = 512
@@ -58,7 +62,14 @@ func NewRegistered(d, q int, subsets []words.ColumnSet, cfg RegisteredConfig) (*
 	if cfg.KHLLPrecision == 0 {
 		cfg.KHLLPrecision = 8
 	}
-	s := &Registered{d: d, q: q}
+	if cfg.KHLLValues < 2 || cfg.KHLLValues > maxSketchRetention {
+		return nil, badParam("registered", "khllvalues", cfg.KHLLValues,
+			fmt.Sprintf("outside [2, %d]", maxSketchRetention))
+	}
+	if cfg.KHLLPrecision < 4 || cfg.KHLLPrecision > 16 {
+		return nil, badParam("registered", "khllprecision", cfg.KHLLPrecision, "outside [4, 16]")
+	}
+	s := &Registered{d: d, q: q, cfg: cfg}
 	seen := map[uint64]bool{}
 	for _, c := range subsets {
 		if c.Dim() != d {
@@ -139,6 +150,48 @@ func (s *Registered) SizeBytes() int {
 // Name identifies the summary.
 func (s *Registered) Name() string {
 	return fmt.Sprintf("registered(%d subsets)", len(s.subsets))
+}
+
+// Merge implements Mergeable: it unites each registered subset's F0
+// and KHLL sketches with its peer's. Both summaries must have been
+// built with the same shape, subset list, and configuration (including
+// Seed, so paired sketches hash identically). F0 estimates merge
+// exactly (KMV union); KHLL ids are per-stream row indexes, so rows
+// holding the same index in the two streams collapse to one id and
+// merged Uniqueness estimates are conservative (biased toward
+// reporting values as more identifying).
+func (s *Registered) Merge(other Summary) error {
+	o, ok := other.(*Registered)
+	if !ok {
+		return mergeErr("cannot merge %s with %T", s.Name(), other)
+	}
+	if o == s {
+		return errSelfMerge
+	}
+	if o.d != s.d || o.q != s.q {
+		return mergeErr("shape mismatch: %d cols/[%d] vs %d cols/[%d]", s.d, s.q, o.d, o.q)
+	}
+	if o.cfg != s.cfg {
+		return mergeErr("merging registered summaries with different configs")
+	}
+	if len(o.masks) != len(s.masks) {
+		return mergeErr("merging registered summaries with different subset lists")
+	}
+	for i := range s.masks {
+		if s.masks[i] != o.masks[i] {
+			return mergeErr("subset %d mask mismatch", i)
+		}
+	}
+	for i := range s.f0 {
+		if err := s.f0[i].Merge(o.f0[i]); err != nil {
+			return mergeWrap(err)
+		}
+		if err := s.khll[i].Merge(o.khll[i]); err != nil {
+			return mergeWrap(err)
+		}
+	}
+	s.rows += o.rows
+	return nil
 }
 
 func (s *Registered) lookup(c words.ColumnSet) (int, error) {

@@ -38,8 +38,11 @@ func NewSubset(d, q, t int, eps float64, seed uint64, maxSketches int) (*Subset,
 	if t < 1 || t > d {
 		return nil, badParam("subset", "t", t, fmt.Sprintf("outside [1, %d]", d))
 	}
-	if eps <= 0 || eps >= 1 {
+	if !(eps > 0 && eps < 1) {
 		return nil, badParam("subset", "eps", eps, "outside (0,1)")
+	}
+	if err := validateEpsRetention("subset", eps); err != nil {
+		return nil, err
 	}
 	count, err := combin.Binomial(d, t)
 	if err != nil {

@@ -3,7 +3,7 @@
 // the data, that answer projected frequency queries for column sets
 // revealed only after observation (Section 2's computational model).
 //
-// Four summaries cover the paper's upper-bound landscape and the
+// Five summaries cover the paper's upper-bound landscape and the
 // baselines its lower bounds are measured against:
 //
 //   - Exact: retains every row — the Θ(nd) naïve solution of
@@ -15,6 +15,13 @@
 //     within β·2^{O(αd)} using 2^{H(1/2−α)d} sketches.
 //   - Subset: per-subset sketches for a known query size t — the
 //     Ω(d^t) enumeration baseline of Section 3.1.
+//   - Registered: per-subset sketches for query sets known before the
+//     data — the KHyperLogLog deployment regime the paper's
+//     introduction contrasts with.
+//
+// Every summary is mergeable (Mergeable) and serializable to a
+// versioned wire format (marshal.go, specified in ARCHITECTURE.md),
+// which is what makes sharded and cross-process ingestion possible.
 //
 // Capabilities differ by summary, mirroring the paper's dichotomies
 // (e.g. no summary but Exact supports ℓp sampling for p ≠ 1 —
@@ -55,11 +62,13 @@ type Summary interface {
 // Mergeable is the distributed-ingestion capability: a summary that
 // can fold a peer built over a disjoint part of the stream into
 // itself, so that the merged summary answers every query as if it had
-// observed the concatenated stream. All four core summaries implement
-// it (the sketches underneath — KMV/HLL/BJKST, the p-stable moment
-// sketch, and the row samplers — are all mergeable); merging requires
-// compatible shape and, for seeded sketch summaries, identical seeds,
-// and returns an error wrapping ErrIncompatibleMerge otherwise.
+// observed the concatenated stream. All five core summaries implement
+// it (the sketches underneath — KMV/HLL/BJKST/KHLL, the p-stable
+// moment sketch, and the row samplers — are all mergeable); merging
+// requires compatible shape and, for seeded sketch summaries,
+// identical seeds, and returns an error wrapping ErrIncompatibleMerge
+// otherwise. Combined with the wire format (see marshal.go), merging
+// works cross-process: decode a peer's blob, then Merge it.
 type Mergeable interface {
 	// Merge folds other into the receiver. other must be the same
 	// summary kind with a compatible configuration; it is left intact.

@@ -151,16 +151,23 @@ func (s *Sharded) Observe(w words.Word) {
 // enqueued rows are fully observed first), runs f, then resumes them.
 // Callers must hold s.mu.
 func (s *Sharded) quiesce(f func() error) error {
+	return s.quiesceChans(s.chans, f)
+}
+
+// quiesceChans is quiesce over an explicit worker subset, so
+// single-shard operations (Absorb) pause one worker instead of all of
+// them. Callers must hold s.mu.
+func (s *Sharded) quiesceChans(chans []chan shardMsg, f func() error) error {
 	if s.chans == nil {
 		// Closed: the workers are gone and the shards are idle.
 		return f()
 	}
 	resume := make(chan struct{})
-	acks := make(chan struct{}, len(s.chans))
-	for _, ch := range s.chans {
+	acks := make(chan struct{}, len(chans))
+	for _, ch := range chans {
 		ch <- shardMsg{ack: acks, resume: resume}
 	}
-	for range s.chans {
+	for range chans {
 		<-acks
 	}
 	err := f()
@@ -210,6 +217,51 @@ func (s *Sharded) snapshotGen() (core.Summary, uint64, error) {
 // Flush blocks until every row accepted so far is reflected in the
 // merged snapshot, and returns that snapshot.
 func (s *Sharded) Flush() (core.Summary, error) { return s.Snapshot() }
+
+// Absorb folds an externally built summary — typically one decoded
+// from a remote writer's serialized push — into one of the engine's
+// shards, so cross-process ingestion composes with the local workers.
+// The donor must be mergeable into the engine's summary kind (same
+// shape and configuration) and is left intact; on error the engine is
+// unchanged. Shards are chosen round-robin with the row router.
+func (s *Sharded) Absorb(sum core.Summary) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i := int(s.next.Add(1) % uint64(len(s.shards)))
+	var target []chan shardMsg
+	if s.chans != nil {
+		// Only the receiving shard's worker needs to pause; ingestion
+		// on every other shard continues during the merge.
+		target = s.chans[i : i+1]
+	}
+	err := s.quiesceChans(target, func() error {
+		return s.shards[i].(core.Mergeable).Merge(sum)
+	})
+	if err != nil {
+		return fmt.Errorf("engine: absorbing into shard %d: %w", i, err)
+	}
+	s.enqueued.Add(sum.Rows())
+	// Drop any existing snapshot outright rather than trusting the
+	// donor's self-reported row count to advance the staleness clock:
+	// a blob may carry sketch state with rows = 0, which would
+	// otherwise leave a prior snapshot looking fresh.
+	s.snap = nil
+	return nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler by serializing the
+// merged snapshot: the wire form of a sharded engine is the wire form
+// of the single summary equal to everything it has ingested. The
+// engine itself is not reconstructible from the blob — decode it with
+// core.UnmarshalSummary and, if sharded serving is needed again,
+// Absorb it into a fresh engine.
+func (s *Sharded) MarshalBinary() ([]byte, error) {
+	snap, err := s.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return core.MarshalSummary(snap)
+}
 
 // Close stops the shard workers. The engine still answers queries
 // (and rebuilds snapshots) afterwards, but Observe must not be called

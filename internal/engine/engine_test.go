@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"encoding/binary"
 	"errors"
 	"math"
 	"sync"
@@ -35,7 +36,7 @@ func testTable(n int, seed uint64) *words.Table {
 }
 
 func exactFactory(d, q int) Factory {
-	return func(int) (core.Summary, error) { return core.NewExact(d, q), nil }
+	return func(int) (core.Summary, error) { return core.NewExact(d, q) }
 }
 
 func netFactory(d, q int, cfg core.NetConfig) Factory {
@@ -56,7 +57,10 @@ func feedEngine(t *testing.T, s *Sharded, tb *words.Table) {
 
 func TestShardedExactMatchesSingleSummary(t *testing.T) {
 	tb := testTable(5000, 1)
-	single := core.NewExact(10, 2)
+	single, err := core.NewExact(10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	eng, err := NewSharded(exactFactory(10, 2), Config{Shards: 4})
 	if err != nil {
 		t.Fatal(err)
@@ -250,15 +254,14 @@ func TestShardedUnsupportedQueryClass(t *testing.T) {
 
 func TestShardedFactoryValidation(t *testing.T) {
 	if _, err := NewSharded(func(int) (core.Summary, error) {
-		r, err := core.NewRegistered(4, 2, []words.ColumnSet{words.MustColumnSet(4, 0)}, core.RegisteredConfig{Seed: 1})
-		return r, err
+		return unmergeable{}, nil
 	}, Config{Shards: 2}); err == nil {
 		t.Fatal("non-mergeable base summary must be rejected")
 	}
 	shape := 0
 	if _, err := NewSharded(func(int) (core.Summary, error) {
 		shape++
-		return core.NewExact(3+shape, 2), nil
+		return core.NewExact(3+shape, 2)
 	}, Config{Shards: 2}); err == nil {
 		t.Fatal("mismatched shard shapes must be rejected")
 	}
@@ -326,5 +329,67 @@ func TestConcurrentObserveAndQuery(t *testing.T) {
 	}
 	if snap.Rows() != want {
 		t.Fatalf("snapshot rows %d, want %d", snap.Rows(), want)
+	}
+}
+
+// unmergeable is a minimal summary without Merge, for factory
+// validation tests (every core summary is mergeable these days).
+type unmergeable struct{}
+
+func (unmergeable) Observe(words.Word) {}
+func (unmergeable) Dim() int           { return 4 }
+func (unmergeable) Alphabet() int      { return 2 }
+func (unmergeable) Rows() int64        { return 0 }
+func (unmergeable) SizeBytes() int     { return 0 }
+func (unmergeable) Name() string       { return "unmergeable" }
+
+func TestAbsorbInvalidatesSnapshotDespiteDonorRowCount(t *testing.T) {
+	// A donor blob can carry sketch state while claiming zero rows
+	// (Net row counts cannot be cross-checked against sketch content),
+	// so Absorb must drop any existing snapshot outright instead of
+	// relying on the row clock to mark it stale.
+	cfg := core.NetConfig{Alpha: 0.3, Epsilon: 0.3, Seed: 5}
+	eng, err := NewSharded(netFactory(10, 2, cfg), Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	eng.Observe(make(words.Word, 10))
+	if _, err := eng.Flush(); err != nil { // builds a snapshot
+		t.Fatal(err)
+	}
+	donor, err := core.NewNet(10, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		w := make(words.Word, 10)
+		for j := range w {
+			w[j] = uint16((i >> j) & 1)
+		}
+		donor.Observe(w)
+	}
+	blob, err := core.MarshalSummary(donor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint64(blob[24:], 0) // lie: zero rows
+	dec, err := core.UnmarshalSummary(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Rows() != 0 {
+		t.Fatalf("crafted donor reports %d rows", dec.Rows())
+	}
+	if err := eng.Absorb(dec); err != nil {
+		t.Fatal(err)
+	}
+	c := words.MustColumnSet(10, 0, 1, 2)
+	f0, err := eng.F0(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f0 < 2 {
+		t.Fatalf("post-absorb snapshot is stale: F0 = %v, want the donor's patterns visible", f0)
 	}
 }

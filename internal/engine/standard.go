@@ -1,0 +1,31 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// StandardSummary builds the summary configuration the command-line
+// tools (cmd/projfreq and cmd/projfreqd) share. The agreement is
+// load-bearing for cross-process pushes: a writer's summary only
+// merges into a daemon's if both sides were built with identical
+// configuration, so the hardcoded Net moment set and repetition count
+// live here, once.
+//
+// shard is the ingest-shard index (0 for unsharded use): Sample
+// shards fold it into the seed so they draw independently, while
+// Exact ignores it and Net shards share the seed so their member
+// sketches merge.
+func StandardSummary(kind string, d, q int, eps, delta, alpha float64, seed uint64, shard int) (core.Summary, error) {
+	switch kind {
+	case "exact":
+		return core.NewExact(d, q)
+	case "sample":
+		return core.NewSampleForError(d, q, eps, delta, seed+uint64(shard)*0x9e3779b97f4a7c15)
+	case "net":
+		return core.NewNet(d, q, core.NetConfig{Alpha: alpha, Epsilon: eps, Moments: []float64{2}, StableReps: 60, Seed: seed})
+	default:
+		return nil, fmt.Errorf("engine: unknown summary kind %q", kind)
+	}
+}

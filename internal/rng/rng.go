@@ -7,6 +7,7 @@
 package rng
 
 import (
+	"errors"
 	"math"
 	"math/bits"
 )
@@ -67,6 +68,20 @@ func New(seed uint64) *Source {
 // from a single master seed.
 func (r *Source) Fork(id uint64) *Source {
 	return New(r.Uint64() ^ Mix64(id^0xa0761d6478bd642f))
+}
+
+// State returns the generator's full 256-bit internal state, so a
+// Source can be serialized mid-stream and later resumed with Restore.
+func (r *Source) State() [4]uint64 { return r.s }
+
+// Restore returns a Source resuming exactly from a state captured by
+// State. The all-zero state (a xoshiro fixed point, never produced by
+// New) is rejected.
+func Restore(state [4]uint64) (*Source, error) {
+	if state[0]|state[1]|state[2]|state[3] == 0 {
+		return nil, errors.New("rng: all-zero xoshiro state")
+	}
+	return &Source{s: state}, nil
 }
 
 // Uint64 returns the next 64 pseudo-random bits (xoshiro256**).

@@ -1,0 +1,176 @@
+package sample
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/wire"
+	"repro/internal/words"
+)
+
+// ErrCorrupt is returned when deserializing a malformed sampler blob.
+var ErrCorrupt = errors.New("sample: corrupt serialized sampler")
+
+// Serialized sampler layouts (little-endian, via internal/wire).
+// These are payload bodies: framing (magic, version, kind) lives one
+// layer up in the core summary envelope.
+//
+//	WithReplacement: u32 t | i64 seen | t×(4×u64 rng state) | t×row
+//	Reservoir:       u32 t | i64 seen | 4×u64 rng state | u32 n | n×row
+//	row:             u32 len (0xFFFFFFFF = absent) | len×u16 symbols
+//
+// The generator states travel with the rows so a decoded sampler
+// continues its stream — and in particular merges — exactly as the
+// original would have.
+const nilRow = ^uint32(0)
+
+func writeSource(w *wire.Writer, s *rng.Source) {
+	st := s.State()
+	for _, x := range st {
+		w.U64(x)
+	}
+}
+
+func readSource(r *wire.Reader) *rng.Source {
+	var st [4]uint64
+	for i := range st {
+		st[i] = r.U64()
+	}
+	if r.Err() != nil {
+		return nil
+	}
+	s, err := rng.Restore(st)
+	if err != nil {
+		return nil
+	}
+	return s
+}
+
+func writeRow(w *wire.Writer, row words.Word) {
+	if row == nil {
+		w.U32(nilRow)
+		return
+	}
+	w.U32(uint32(len(row)))
+	for _, x := range row {
+		w.U16(x)
+	}
+}
+
+func readRow(r *wire.Reader) words.Word {
+	n := r.U32()
+	if r.Err() != nil || n == nilRow {
+		return nil
+	}
+	if !r.Ensure(2 * int(n)) {
+		return nil
+	}
+	row := make(words.Word, n)
+	for i := range row {
+		row[i] = r.U16()
+	}
+	return row
+}
+
+// MarshalBinary encodes the sampler's full state: slot rows plus the
+// per-slot generator states, so a decoded sampler resumes the exact
+// random stream of the original.
+func (s *WithReplacement) MarshalBinary() ([]byte, error) {
+	w := wire.NewWriter(12 + 36*s.t)
+	w.U32(uint32(s.t))
+	w.I64(s.seen)
+	for _, src := range s.srcs {
+		writeSource(w, src)
+	}
+	for _, row := range s.rows {
+		writeRow(w, row)
+	}
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary decodes a sampler produced by MarshalBinary,
+// replacing the receiver's state. Allocation is bounded by the slot
+// count, which is validated against the remaining input.
+func (s *WithReplacement) UnmarshalBinary(data []byte) error {
+	r := wire.NewReader(data, ErrCorrupt)
+	t := int(r.U32())
+	seen := r.I64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	// Each slot carries 32 bytes of generator state plus a 4-byte row
+	// prefix, so the slot count is bounded by the blob before anything
+	// is allocated.
+	if t < 1 || seen < 0 || 36*t > r.Remaining() {
+		return fmt.Errorf("%w: with-replacement header t=%d seen=%d", ErrCorrupt, t, seen)
+	}
+	tmp := &WithReplacement{
+		t:    t,
+		seen: seen,
+		rows: make([]words.Word, t),
+		srcs: make([]*rng.Source, t),
+	}
+	for i := range tmp.srcs {
+		if tmp.srcs[i] = readSource(r); tmp.srcs[i] == nil {
+			return fmt.Errorf("%w: slot %d generator state", ErrCorrupt, i)
+		}
+	}
+	for i := range tmp.rows {
+		tmp.rows[i] = readRow(r)
+	}
+	if err := r.Done(); err != nil {
+		return err
+	}
+	*s = *tmp
+	return nil
+}
+
+// MarshalBinary encodes the reservoir's full state: retained rows plus
+// the generator state, so a decoded reservoir resumes the exact random
+// stream of the original.
+func (r *Reservoir) MarshalBinary() ([]byte, error) {
+	w := wire.NewWriter(48 + 4*len(r.rows))
+	w.U32(uint32(r.t))
+	w.I64(r.seen)
+	writeSource(w, r.src)
+	w.U32(uint32(len(r.rows)))
+	for _, row := range r.rows {
+		writeRow(w, row)
+	}
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary decodes a reservoir produced by MarshalBinary,
+// replacing the receiver's state. Allocation is bounded by the
+// retained-row count, which is validated against the remaining input.
+func (r *Reservoir) UnmarshalBinary(data []byte) error {
+	rd := wire.NewReader(data, ErrCorrupt)
+	t := int(rd.U32())
+	seen := rd.I64()
+	src := readSource(rd)
+	n := int(rd.U32())
+	if err := rd.Err(); err != nil {
+		return err
+	}
+	if src == nil {
+		return fmt.Errorf("%w: generator state", ErrCorrupt)
+	}
+	// A retained row costs at least its 4-byte length prefix.
+	if t < 1 || seen < 0 || n > t || int64(n) > seen || 4*n > rd.Remaining() {
+		return fmt.Errorf("%w: reservoir header t=%d seen=%d n=%d", ErrCorrupt, t, seen, n)
+	}
+	tmp := &Reservoir{t: t, seen: seen, src: src, rows: make([]words.Word, 0, n)}
+	for i := 0; i < n; i++ {
+		row := readRow(rd)
+		if row == nil {
+			return fmt.Errorf("%w: reservoir row %d absent", ErrCorrupt, i)
+		}
+		tmp.rows = append(tmp.rows, row)
+	}
+	if err := rd.Done(); err != nil {
+		return err
+	}
+	*r = *tmp
+	return nil
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/hashing"
+	"repro/internal/wire"
 )
 
 // AMS is the Alon–Matias–Szegedy F₂ estimator in its classical
@@ -103,37 +104,40 @@ func (s *AMS) SizeBytes() int { return 1 + 4 + 4 + 8 + 8*len(s.z) }
 
 // MarshalBinary encodes the sketch.
 func (s *AMS) MarshalBinary() ([]byte, error) {
-	w := &writer{buf: make([]byte, 0, s.SizeBytes())}
-	w.u8(tagAMS)
-	w.u32(uint32(s.groups))
-	w.u32(uint32(s.reps))
-	w.u64(s.seed)
+	w := wire.NewWriter(s.SizeBytes())
+	w.U8(tagAMS)
+	w.U32(uint32(s.groups))
+	w.U32(uint32(s.reps))
+	w.U64(s.seed)
 	for _, v := range s.z {
-		w.i64(v)
+		w.I64(v)
 	}
-	return w.buf, nil
+	return w.Bytes(), nil
 }
 
-// UnmarshalBinary decodes a sketch produced by MarshalBinary.
+// UnmarshalBinary decodes a sketch produced by MarshalBinary,
+// replacing the receiver's state. The claimed grid must exactly fill
+// the input, so allocation is bounded by the blob.
 func (s *AMS) UnmarshalBinary(data []byte) error {
-	r := &reader{buf: data}
-	if r.u8() != tagAMS {
+	r := wire.NewReader(data, ErrCorrupt)
+	if r.U8() != tagAMS {
 		return fmt.Errorf("%w: not an AMS sketch", ErrCorrupt)
 	}
-	groups := int(r.u32())
-	reps := int(r.u32())
-	seed := r.u64()
-	if r.err != nil {
-		return r.err
+	groups := int(r.U32())
+	reps := int(r.U32())
+	seed := r.U64()
+	if err := r.Err(); err != nil {
+		return err
 	}
-	if groups < 1 || reps < 1 || groups*reps > 1<<26 {
+	if groups < 1 || reps < 1 || r.Remaining()%8 != 0 ||
+		int64(groups)*int64(reps) != int64(r.Remaining()/8) {
 		return fmt.Errorf("%w: AMS shape", ErrCorrupt)
 	}
 	tmp := NewAMS(groups, reps, seed)
 	for i := range tmp.z {
-		tmp.z[i] = r.i64()
+		tmp.z[i] = r.I64()
 	}
-	if err := r.done(); err != nil {
+	if err := r.Done(); err != nil {
 		return err
 	}
 	*s = *tmp

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"repro/internal/hashing"
+	"repro/internal/wire"
 )
 
 // BJKST is the Bar-Yossef–Jayram–Kumar–Sivakumar–Trevisan distinct
@@ -32,14 +33,14 @@ func NewBJKST(budget int, seed uint64) *BJKST {
 		budget: budget,
 		seed:   seed,
 		h:      hashing.NewMixer(seed),
-		set:    make(map[uint64]struct{}, budget),
+		set:    make(map[uint64]struct{}, mapHint(budget)),
 	}
 }
 
 // BJKSTForEpsilon sizes the budget as 24/ε² (constant from the
 // standard analysis, rounded generously).
 func BJKSTForEpsilon(eps float64, seed uint64) *BJKST {
-	if eps <= 0 || eps >= 1 {
+	if !(eps > 0 && eps < 1) {
 		panic("sketch: epsilon outside (0,1)")
 	}
 	return NewBJKST(int(24/(eps*eps))+8, seed)
@@ -100,49 +101,56 @@ func (s *BJKST) SizeBytes() int { return 1 + 4 + 8 + 1 + 4 + 8*len(s.set) }
 
 // MarshalBinary encodes the sketch.
 func (s *BJKST) MarshalBinary() ([]byte, error) {
-	w := &writer{buf: make([]byte, 0, s.SizeBytes())}
-	w.u8(tagBJKST)
-	w.u32(uint32(s.budget))
-	w.u64(s.seed)
-	w.u8(s.z)
-	w.u32(uint32(len(s.set)))
+	w := wire.NewWriter(s.SizeBytes())
+	w.U8(tagBJKST)
+	w.U32(uint32(s.budget))
+	w.U64(s.seed)
+	w.U8(s.z)
+	w.U32(uint32(len(s.set)))
 	vals := make([]uint64, 0, len(s.set))
 	for v := range s.set {
 		vals = append(vals, v)
 	}
 	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
 	for _, v := range vals {
-		w.u64(v)
+		w.U64(v)
 	}
-	return w.buf, nil
+	return w.Bytes(), nil
 }
 
-// UnmarshalBinary decodes a sketch produced by MarshalBinary.
+// UnmarshalBinary decodes a sketch produced by MarshalBinary,
+// replacing the receiver's state. Allocation is bounded by the stored
+// value count, which must exactly fill the input.
 func (s *BJKST) UnmarshalBinary(data []byte) error {
-	r := &reader{buf: data}
-	if r.u8() != tagBJKST {
+	r := wire.NewReader(data, ErrCorrupt)
+	if r.U8() != tagBJKST {
 		return fmt.Errorf("%w: not a BJKST sketch", ErrCorrupt)
 	}
-	budget := int(r.u32())
-	seed := r.u64()
-	z := r.u8()
-	n := int(r.u32())
-	if r.err != nil {
-		return r.err
+	budget := int(r.U32())
+	seed := r.U64()
+	z := r.U8()
+	n := int(r.U32())
+	if err := r.Err(); err != nil {
+		return err
 	}
-	if budget < 8 || n > budget {
+	if budget < 8 || n > budget || r.Remaining() != 8*n {
 		return fmt.Errorf("%w: BJKST header", ErrCorrupt)
 	}
-	tmp := NewBJKST(budget, seed)
-	tmp.z = z
+	tmp := &BJKST{
+		budget: budget,
+		seed:   seed,
+		h:      hashing.NewMixer(seed),
+		z:      z,
+		set:    make(map[uint64]struct{}, n),
+	}
 	for i := 0; i < n; i++ {
-		v := r.u64()
+		v := r.U64()
 		if uint8(bits.TrailingZeros64(v|1<<63)) < z {
 			return fmt.Errorf("%w: BJKST value below level", ErrCorrupt)
 		}
 		tmp.set[v] = struct{}{}
 	}
-	if err := r.done(); err != nil {
+	if err := r.Done(); err != nil {
 		return err
 	}
 	*s = *tmp

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/hashing"
+	"repro/internal/wire"
 )
 
 // CountMin is the Cormode–Muthukrishnan Count-Min sketch: depth
@@ -134,46 +135,49 @@ func (s *CountMin) SizeBytes() int { return 1 + 4 + 4 + 8 + 1 + 8 + 8*len(s.coun
 
 // MarshalBinary encodes the sketch.
 func (s *CountMin) MarshalBinary() ([]byte, error) {
-	w := &writer{buf: make([]byte, 0, s.SizeBytes())}
-	w.u8(tagCountMin)
-	w.u32(uint32(s.width))
-	w.u32(uint32(s.depth))
-	w.u64(s.seed)
+	w := wire.NewWriter(s.SizeBytes())
+	w.U8(tagCountMin)
+	w.U32(uint32(s.width))
+	w.U32(uint32(s.depth))
+	w.U64(s.seed)
 	if s.conservative {
-		w.u8(1)
+		w.U8(1)
 	} else {
-		w.u8(0)
+		w.U8(0)
 	}
-	w.i64(s.total)
+	w.I64(s.total)
 	for _, c := range s.counts {
-		w.i64(c)
+		w.I64(c)
 	}
-	return w.buf, nil
+	return w.Bytes(), nil
 }
 
-// UnmarshalBinary decodes a sketch produced by MarshalBinary.
+// UnmarshalBinary decodes a sketch produced by MarshalBinary,
+// replacing the receiver's state. The claimed shape must exactly fill
+// the input, so allocation is bounded by the blob.
 func (s *CountMin) UnmarshalBinary(data []byte) error {
-	r := &reader{buf: data}
-	if r.u8() != tagCountMin {
+	r := wire.NewReader(data, ErrCorrupt)
+	if r.U8() != tagCountMin {
 		return fmt.Errorf("%w: not a CountMin sketch", ErrCorrupt)
 	}
-	width := int(r.u32())
-	depth := int(r.u32())
-	seed := r.u64()
-	conservative := r.u8() == 1
-	total := r.i64()
-	if r.err != nil {
-		return r.err
+	width := int(r.U32())
+	depth := int(r.U32())
+	seed := r.U64()
+	conservative := r.U8() == 1
+	total := r.I64()
+	if err := r.Err(); err != nil {
+		return err
 	}
-	if width < 1 || depth < 1 || width*depth > 1<<28 {
+	if width < 1 || depth < 1 || r.Remaining()%8 != 0 ||
+		int64(width)*int64(depth) != int64(r.Remaining()/8) {
 		return fmt.Errorf("%w: CountMin shape", ErrCorrupt)
 	}
 	tmp := NewCountMin(width, depth, seed, conservative)
 	tmp.total = total
 	for i := range tmp.counts {
-		tmp.counts[i] = r.i64()
+		tmp.counts[i] = r.I64()
 	}
-	if err := r.done(); err != nil {
+	if err := r.Done(); err != nil {
 		return err
 	}
 	*s = *tmp

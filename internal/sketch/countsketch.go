@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/hashing"
+	"repro/internal/wire"
 )
 
 // CountSketch is the Charikar–Chen–Farach-Colton sketch: depth rows of
@@ -129,37 +130,40 @@ func (s *CountSketch) SizeBytes() int { return 1 + 4 + 4 + 8 + 8*len(s.counts) }
 
 // MarshalBinary encodes the sketch.
 func (s *CountSketch) MarshalBinary() ([]byte, error) {
-	w := &writer{buf: make([]byte, 0, s.SizeBytes())}
-	w.u8(tagCountSketch)
-	w.u32(uint32(s.width))
-	w.u32(uint32(s.depth))
-	w.u64(s.seed)
+	w := wire.NewWriter(s.SizeBytes())
+	w.U8(tagCountSketch)
+	w.U32(uint32(s.width))
+	w.U32(uint32(s.depth))
+	w.U64(s.seed)
 	for _, c := range s.counts {
-		w.i64(c)
+		w.I64(c)
 	}
-	return w.buf, nil
+	return w.Bytes(), nil
 }
 
-// UnmarshalBinary decodes a sketch produced by MarshalBinary.
+// UnmarshalBinary decodes a sketch produced by MarshalBinary,
+// replacing the receiver's state. The claimed shape must exactly fill
+// the input, so allocation is bounded by the blob.
 func (s *CountSketch) UnmarshalBinary(data []byte) error {
-	r := &reader{buf: data}
-	if r.u8() != tagCountSketch {
+	r := wire.NewReader(data, ErrCorrupt)
+	if r.U8() != tagCountSketch {
 		return fmt.Errorf("%w: not a CountSketch", ErrCorrupt)
 	}
-	width := int(r.u32())
-	depth := int(r.u32())
-	seed := r.u64()
-	if r.err != nil {
-		return r.err
+	width := int(r.U32())
+	depth := int(r.U32())
+	seed := r.U64()
+	if err := r.Err(); err != nil {
+		return err
 	}
-	if width < 1 || depth < 1 || width*depth > 1<<28 {
+	if width < 1 || depth < 1 || r.Remaining()%8 != 0 ||
+		int64(width)*int64(depth) != int64(r.Remaining()/8) {
 		return fmt.Errorf("%w: CountSketch shape", ErrCorrupt)
 	}
 	tmp := NewCountSketch(width, depth, seed)
 	for i := range tmp.counts {
-		tmp.counts[i] = r.i64()
+		tmp.counts[i] = r.I64()
 	}
-	if err := r.done(); err != nil {
+	if err := r.Done(); err != nil {
 		return err
 	}
 	*s = *tmp

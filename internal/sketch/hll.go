@@ -6,6 +6,7 @@ import (
 	"math/bits"
 
 	"repro/internal/hashing"
+	"repro/internal/wire"
 )
 
 // HLL is a HyperLogLog distinct counter with 2^precision registers,
@@ -35,7 +36,7 @@ func NewHLL(precision int, seed uint64) *HLL {
 
 // HLLForEpsilon returns an HLL sized so 1.04/sqrt(m) <= eps.
 func HLLForEpsilon(eps float64, seed uint64) *HLL {
-	if eps <= 0 || eps >= 1 {
+	if !(eps > 0 && eps < 1) {
 		panic("sketch: epsilon outside (0,1)")
 	}
 	m := 1.04 * 1.04 / (eps * eps)
@@ -113,34 +114,34 @@ func (s *HLL) SizeBytes() int { return 1 + 1 + 8 + len(s.reg) }
 
 // MarshalBinary encodes the sketch.
 func (s *HLL) MarshalBinary() ([]byte, error) {
-	w := &writer{buf: make([]byte, 0, s.SizeBytes())}
-	w.u8(tagHLL)
-	w.u8(s.precision)
-	w.u64(s.seed)
-	w.buf = append(w.buf, s.reg...)
-	return w.buf, nil
+	w := wire.NewWriter(s.SizeBytes())
+	w.U8(tagHLL)
+	w.U8(s.precision)
+	w.U64(s.seed)
+	w.Raw(s.reg)
+	return w.Bytes(), nil
 }
 
-// UnmarshalBinary decodes a sketch produced by MarshalBinary.
+// UnmarshalBinary decodes a sketch produced by MarshalBinary,
+// replacing the receiver's state.
 func (s *HLL) UnmarshalBinary(data []byte) error {
-	r := &reader{buf: data}
-	if r.u8() != tagHLL {
+	r := wire.NewReader(data, ErrCorrupt)
+	if r.U8() != tagHLL {
 		return fmt.Errorf("%w: not an HLL sketch", ErrCorrupt)
 	}
-	p := int(r.u8())
-	seed := r.u64()
-	if r.err != nil {
-		return r.err
+	p := int(r.U8())
+	seed := r.U64()
+	if err := r.Err(); err != nil {
+		return err
 	}
 	if p < 4 || p > 16 {
 		return fmt.Errorf("%w: HLL precision %d", ErrCorrupt, p)
 	}
-	want := 1 << uint(p)
-	if len(data)-r.off != want {
+	if r.Remaining() != 1<<uint(p) {
 		return fmt.Errorf("%w: HLL register block", ErrCorrupt)
 	}
 	tmp := NewHLL(p, seed)
-	copy(tmp.reg, data[r.off:])
+	copy(tmp.reg, r.Rest())
 	*s = *tmp
 	return nil
 }

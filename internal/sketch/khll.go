@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/hashing"
+	"repro/internal/wire"
 )
 
 // KHLL is the KHyperLogLog sketch of Chia et al. (IEEE S&P 2019),
@@ -42,7 +43,7 @@ func NewKHLL(k, precision int, seed uint64) *KHLL {
 		precision: precision,
 		seed:      seed,
 		h:         hashing.NewMixer(seed),
-		entries:   make(map[uint64]*HLL, k),
+		entries:   make(map[uint64]*HLL, mapHint(k)),
 	}
 }
 
@@ -131,6 +132,85 @@ func (s *KHLL) SizeBytes() int {
 		total += 8 + hll.SizeBytes()
 	}
 	return total
+}
+
+// MarshalBinary encodes the sketch: the retained value hashes in
+// ascending order, each followed by its id-counting HLL block.
+func (s *KHLL) MarshalBinary() ([]byte, error) {
+	w := wire.NewWriter(s.SizeBytes() + 4)
+	w.U8(tagKHLL)
+	w.U32(uint32(s.k))
+	w.U8(uint8(s.precision))
+	w.U64(s.seed)
+	w.U32(uint32(len(s.entries)))
+	hashes := make([]uint64, 0, len(s.entries))
+	for hv := range s.entries {
+		hashes = append(hashes, hv)
+	}
+	sort.Slice(hashes, func(i, j int) bool { return hashes[i] < hashes[j] })
+	for _, hv := range hashes {
+		b, err := s.entries[hv].MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		w.U64(hv)
+		w.Block(b)
+	}
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary decodes a sketch produced by MarshalBinary,
+// replacing the receiver's state. Allocation is bounded by the stored
+// entry count, which is validated against the remaining input.
+func (s *KHLL) UnmarshalBinary(data []byte) error {
+	r := wire.NewReader(data, ErrCorrupt)
+	if r.U8() != tagKHLL {
+		return fmt.Errorf("%w: not a KHLL sketch", ErrCorrupt)
+	}
+	k := int(r.U32())
+	precision := int(r.U8())
+	seed := r.U64()
+	n := int(r.U32())
+	if err := r.Err(); err != nil {
+		return err
+	}
+	// Each entry costs at least its hash and block prefix (12 bytes).
+	if k < 2 || precision < 4 || precision > 16 || n > k || 12*n > r.Remaining() {
+		return fmt.Errorf("%w: KHLL header k=%d precision=%d n=%d", ErrCorrupt, k, precision, n)
+	}
+	tmp := &KHLL{
+		k:         k,
+		precision: precision,
+		seed:      seed,
+		h:         hashing.NewMixer(seed),
+		entries:   make(map[uint64]*HLL, n),
+	}
+	prev := uint64(0)
+	for i := 0; i < n; i++ {
+		hv := r.U64()
+		blob := r.Block()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		if i > 0 && hv <= prev {
+			return fmt.Errorf("%w: KHLL hashes out of order", ErrCorrupt)
+		}
+		prev = hv
+		hll := &HLL{}
+		if err := hll.UnmarshalBinary(blob); err != nil {
+			return err
+		}
+		if hll.Precision() != precision {
+			return fmt.Errorf("%w: KHLL member precision %d != %d", ErrCorrupt, hll.Precision(), precision)
+		}
+		tmp.entries[hv] = hll
+	}
+	if err := r.Done(); err != nil {
+		return err
+	}
+	tmp.refreshMax()
+	*s = *tmp
+	return nil
 }
 
 // Merge folds another KHLL built with identical parameters into s.

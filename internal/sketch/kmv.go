@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/hashing"
+	"repro/internal/wire"
 )
 
 // KMV is the k-minimum-values distinct counter: it retains the k
@@ -48,13 +49,13 @@ func NewKMV(k int, seed uint64) *KMV {
 		k:    k,
 		seed: seed,
 		h:    hashing.NewMixer(seed),
-		set:  make(map[uint64]struct{}, k),
+		set:  make(map[uint64]struct{}, mapHint(k)),
 	}
 }
 
 // KMVForEpsilon returns a KMV sized for standard error ε.
 func KMVForEpsilon(eps float64, seed uint64) *KMV {
-	if eps <= 0 || eps >= 1 {
+	if !(eps > 0 && eps < 1) {
 		panic("sketch: epsilon outside (0,1)")
 	}
 	k := int(1.0/(eps*eps)) + 3
@@ -116,40 +117,47 @@ func (s *KMV) SizeBytes() int { return 1 + 4 + 8 + 4 + 8*len(s.vals) }
 
 // MarshalBinary encodes the sketch.
 func (s *KMV) MarshalBinary() ([]byte, error) {
-	w := &writer{buf: make([]byte, 0, s.SizeBytes())}
-	w.u8(tagKMV)
-	w.u32(uint32(s.k))
-	w.u64(s.seed)
-	w.u32(uint32(len(s.vals)))
+	w := wire.NewWriter(s.SizeBytes())
+	w.U8(tagKMV)
+	w.U32(uint32(s.k))
+	w.U64(s.seed)
+	w.U32(uint32(len(s.vals)))
 	sorted := make([]uint64, len(s.vals))
 	copy(sorted, s.vals)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	for _, v := range sorted {
-		w.u64(v)
+		w.U64(v)
 	}
-	return w.buf, nil
+	return w.Bytes(), nil
 }
 
-// UnmarshalBinary decodes a sketch produced by MarshalBinary.
+// UnmarshalBinary decodes a sketch produced by MarshalBinary,
+// replacing the receiver's state. Allocation is bounded by the stored
+// value count, which must exactly fill the input.
 func (s *KMV) UnmarshalBinary(data []byte) error {
-	r := &reader{buf: data}
-	if r.u8() != tagKMV {
+	r := wire.NewReader(data, ErrCorrupt)
+	if r.U8() != tagKMV {
 		return fmt.Errorf("%w: not a KMV sketch", ErrCorrupt)
 	}
-	k := int(r.u32())
-	seed := r.u64()
-	n := int(r.u32())
-	if r.err != nil {
-		return r.err
+	k := int(r.U32())
+	seed := r.U64()
+	n := int(r.U32())
+	if err := r.Err(); err != nil {
+		return err
 	}
-	if k < 2 || n > k {
+	if k < 2 || n > k || r.Remaining() != 8*n {
 		return fmt.Errorf("%w: KMV header k=%d n=%d", ErrCorrupt, k, n)
 	}
-	tmp := NewKMV(k, seed)
-	for i := 0; i < n; i++ {
-		tmp.addHash(r.u64())
+	tmp := &KMV{
+		k:    k,
+		seed: seed,
+		h:    hashing.NewMixer(seed),
+		set:  make(map[uint64]struct{}, n),
 	}
-	if err := r.done(); err != nil {
+	for i := 0; i < n; i++ {
+		tmp.addHash(r.U64())
+	}
+	if err := r.Done(); err != nil {
 		return err
 	}
 	*s = *tmp

@@ -13,10 +13,7 @@
 package sketch
 
 import (
-	"encoding/binary"
 	"errors"
-	"fmt"
-	"math"
 )
 
 // DistinctEstimator is a sketch approximating F0 = ‖f‖₀.
@@ -50,76 +47,22 @@ type MomentEstimator interface {
 var ErrIncompatible = errors.New("sketch: incompatible sketches")
 
 // ErrCorrupt is returned when deserializing malformed bytes.
+//
+// The codecs share internal/wire's reader/writer; every decoder
+// validates claimed element counts against the remaining input before
+// allocating, so memory use is proportional to the blob — a corrupt
+// header cannot demand more than its own byte count — and any sketch
+// a constructor can build round-trips.
 var ErrCorrupt = errors.New("sketch: corrupt serialized data")
 
-// writer accumulates a binary encoding; all sketches use little-endian
-// fixed-width fields with a leading format tag.
-type writer struct {
-	buf []byte
-}
-
-func (w *writer) u8(v uint8)   { w.buf = append(w.buf, v) }
-func (w *writer) u32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
-func (w *writer) u64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
-func (w *writer) i64(v int64)  { w.u64(uint64(v)) }
-func (w *writer) f64(v float64) {
-	w.u64(math.Float64bits(v))
-}
-
-type reader struct {
-	buf []byte
-	off int
-	err error
-}
-
-func (r *reader) ensure(n int) bool {
-	if r.err != nil {
-		return false
+// mapHint caps pre-size hints for retention maps: the map grows to
+// its true size on demand, so a huge capacity parameter must not
+// translate into a huge up-front allocation.
+func mapHint(k int) int {
+	if k > 1<<16 {
+		return 1 << 16
 	}
-	if r.off+n > len(r.buf) {
-		r.err = ErrCorrupt
-		return false
-	}
-	return true
-}
-
-func (r *reader) u8() uint8 {
-	if !r.ensure(1) {
-		return 0
-	}
-	v := r.buf[r.off]
-	r.off++
-	return v
-}
-
-func (r *reader) u32() uint32 {
-	if !r.ensure(4) {
-		return 0
-	}
-	v := binary.LittleEndian.Uint32(r.buf[r.off:])
-	r.off += 4
-	return v
-}
-
-func (r *reader) u64() uint64 {
-	if !r.ensure(8) {
-		return 0
-	}
-	v := binary.LittleEndian.Uint64(r.buf[r.off:])
-	r.off += 8
-	return v
-}
-
-func (r *reader) i64() int64   { return int64(r.u64()) }
-func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
-func (r *reader) done() error {
-	if r.err != nil {
-		return r.err
-	}
-	if r.off != len(r.buf) {
-		return fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(r.buf)-r.off)
-	}
-	return nil
+	return k
 }
 
 // Format tags for serialized sketches.
@@ -131,4 +74,5 @@ const (
 	tagCountSketch
 	tagAMS
 	tagStable
+	tagKHLL
 )

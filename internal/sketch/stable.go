@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/rng"
+	"repro/internal/wire"
 )
 
 // Stable is Indyk's p-stable sketch for F_p, 0 < p ≤ 2: reps counters
@@ -27,7 +28,7 @@ type Stable struct {
 // NewStable returns a p-stable sketch with the given repetition count;
 // reps = O(1/ε²) gives a (1±ε) estimate with constant probability.
 func NewStable(p float64, reps int, seed uint64) *Stable {
-	if p <= 0 || p > 2 {
+	if !(p > 0 && p <= 2) {
 		panic("sketch: stability parameter outside (0, 2]")
 	}
 	if reps < 3 {
@@ -38,7 +39,7 @@ func NewStable(p float64, reps int, seed uint64) *Stable {
 
 // StableForEpsilon sizes the sketch for relative error ε on ‖f‖_p.
 func StableForEpsilon(p, eps float64, seed uint64) *Stable {
-	if eps <= 0 || eps >= 1 {
+	if !(eps > 0 && eps < 1) {
 		panic("sketch: epsilon outside (0,1)")
 	}
 	return NewStable(p, int(6/(eps*eps))+3, seed)
@@ -104,37 +105,40 @@ func (s *Stable) SizeBytes() int { return 1 + 8 + 4 + 8 + 8*len(s.sums) }
 
 // MarshalBinary encodes the sketch.
 func (s *Stable) MarshalBinary() ([]byte, error) {
-	w := &writer{buf: make([]byte, 0, s.SizeBytes())}
-	w.u8(tagStable)
-	w.f64(s.p)
-	w.u32(uint32(s.reps))
-	w.u64(s.seed)
+	w := wire.NewWriter(s.SizeBytes())
+	w.U8(tagStable)
+	w.F64(s.p)
+	w.U32(uint32(s.reps))
+	w.U64(s.seed)
 	for _, v := range s.sums {
-		w.f64(v)
+		w.F64(v)
 	}
-	return w.buf, nil
+	return w.Bytes(), nil
 }
 
-// UnmarshalBinary decodes a sketch produced by MarshalBinary.
+// UnmarshalBinary decodes a sketch produced by MarshalBinary,
+// replacing the receiver's state. The claimed repetition count must
+// exactly fill the input, so allocation is bounded by the blob and
+// any constructible sketch round-trips.
 func (s *Stable) UnmarshalBinary(data []byte) error {
-	r := &reader{buf: data}
-	if r.u8() != tagStable {
+	r := wire.NewReader(data, ErrCorrupt)
+	if r.U8() != tagStable {
 		return fmt.Errorf("%w: not a stable sketch", ErrCorrupt)
 	}
-	p := r.f64()
-	reps := int(r.u32())
-	seed := r.u64()
-	if r.err != nil {
-		return r.err
+	p := r.F64()
+	reps := int(r.U32())
+	seed := r.U64()
+	if err := r.Err(); err != nil {
+		return err
 	}
-	if p <= 0 || p > 2 || reps < 3 || reps > 1<<24 {
+	if !(p > 0 && p <= 2) || reps < 3 || r.Remaining() != 8*reps {
 		return fmt.Errorf("%w: stable sketch header", ErrCorrupt)
 	}
 	tmp := NewStable(p, reps, seed)
 	for i := range tmp.sums {
-		tmp.sums[i] = r.f64()
+		tmp.sums[i] = r.F64()
 	}
-	if err := r.done(); err != nil {
+	if err := r.Done(); err != nil {
 		return err
 	}
 	*s = *tmp

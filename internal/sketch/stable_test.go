@@ -1,6 +1,7 @@
 package sketch
 
 import (
+	"encoding/binary"
 	"errors"
 	"math"
 	"testing"
@@ -126,5 +127,22 @@ func TestStableAbsMedianCached(t *testing.T) {
 	// p = 2: |N(0,2)| has median sqrt(2)*z_{0.75} ≈ 0.9539.
 	if v := stableAbsMedian(2); math.Abs(v-0.9539) > 0.01 {
 		t.Fatalf("median |stable_2| = %v, want ≈0.954", v)
+	}
+}
+
+func TestStableUnmarshalRejectsNaNOrder(t *testing.T) {
+	s := NewStable(1.5, 5, 9)
+	s.Add(42)
+	blob, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The moment order p sits right after the 1-byte tag; NaN fails
+	// every comparison, so a non-NaN-safe range check would admit it
+	// and the decoded sketch would estimate NaN forever.
+	binary.LittleEndian.PutUint64(blob[1:], math.Float64bits(math.NaN()))
+	var dec Stable
+	if err := dec.UnmarshalBinary(blob); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("NaN moment order must be corrupt, got %v", err)
 	}
 }

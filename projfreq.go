@@ -101,8 +101,12 @@ var ErrUnsupported = core.ErrUnsupported
 // ErrInvalidParam reports a rejected construction parameter.
 var ErrInvalidParam = core.ErrInvalidParam
 
-// ErrIncompatibleMerge reports a merge between incompatible summaries.
+// ErrIncompatibleMerge reports a merge between incompatible summaries,
+// or a serialized blob of one kind decoded into a receiver of another.
 var ErrIncompatibleMerge = core.ErrIncompatibleMerge
+
+// ErrBadEncoding reports a malformed serialized summary blob.
+var ErrBadEncoding = core.ErrBadEncoding
 
 // NewColumnSet builds the projection query {cols...} over [d].
 func NewColumnSet(d int, cols ...int) (ColumnSet, error) {
@@ -112,8 +116,10 @@ func NewColumnSet(d int, cols ...int) (ColumnSet, error) {
 // FullColumnSet returns the identity projection over [d].
 func FullColumnSet(d int) ColumnSet { return words.FullColumnSet(d) }
 
-// NewExactSummary returns the Θ(nd) exact baseline.
-func NewExactSummary(d, q int) *core.Exact { return core.NewExact(d, q) }
+// NewExactSummary returns the Θ(nd) exact baseline. Degenerate shapes
+// (d < 1, q < 2 or beyond the uint16 symbol range) are rejected with
+// an error wrapping ErrInvalidParam, like every other constructor.
+func NewExactSummary(d, q int) (*core.Exact, error) { return core.NewExact(d, q) }
 
 // NewSampleSummary returns the Theorem 5.1 uniform-sampling summary
 // sized for additive error ε‖f‖₁ with probability 1−δ. Degenerate
@@ -184,3 +190,20 @@ const (
 func NewShardedSummary(factory SummaryFactory, cfg ShardedConfig) (*ShardedSummary, error) {
 	return engine.NewSharded(factory, cfg)
 }
+
+// WireVersion is the version byte of the summary wire format (see
+// ARCHITECTURE.md for the full envelope and payload specification).
+const WireVersion = core.WireVersion
+
+// MarshalSummary serializes a summary into its self-describing wire
+// form. Every summary this package constructs implements
+// encoding.BinaryMarshaler, including the sharded engine (which
+// serializes its merged snapshot), so blobs can travel to another
+// process and be merged there — the cmd/projfreqd deployment model.
+func MarshalSummary(s Summary) ([]byte, error) { return core.MarshalSummary(s) }
+
+// UnmarshalSummary decodes a summary from its wire form, dispatching
+// on the envelope's kind byte. Corrupt blobs fail with errors wrapping
+// ErrBadEncoding (or ErrInvalidParam for degenerate shape headers);
+// decoding never panics.
+func UnmarshalSummary(data []byte) (Summary, error) { return core.UnmarshalSummary(data) }
