@@ -11,7 +11,10 @@
 // The -demo flag generates a built-in census-like dataset so the tool
 // runs without any input file. With -shards N ingestion fans out
 // across an N-shard parallel engine; -batch answers a semicolon-
-// separated list of extra F0 projections as one batched query.
+// separated list of extra F0 projections as one batched query; with
+// -batch-rows N rows are ingested in flat batches of N through the
+// summary's amortized batch path (words.Batch / core.BatchObserver)
+// instead of one Observe call per row.
 //
 // The tool is also the remote writer of the projfreqd deployment
 // model (ARCHITECTURE.md): -save writes the built summary's wire form
@@ -53,22 +56,23 @@ func main() {
 
 func run() error {
 	var (
-		dataPath = flag.String("data", "", "CSV file of rows (symbols in [q])")
-		q        = flag.Int("q", 2, "alphabet size Q")
-		demo     = flag.Bool("demo", false, "use a built-in demo dataset instead of -data")
-		kind     = flag.String("summary", "exact", "summary kind: exact | sample | net")
-		eps      = flag.Float64("eps", 0.05, "accuracy parameter")
-		delta    = flag.Float64("delta", 0.01, "failure probability (sample summary)")
-		alpha    = flag.Float64("alpha", 0.3, "alpha-net parameter (net summary)")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		queryStr = flag.String("query", "", "comma-separated column indices (required)")
-		statsStr = flag.String("stats", "f0,f1", "comma-separated stats: f0,f1,f2,hh,freq:<pattern>")
-		phi      = flag.Float64("phi", 0.1, "heavy hitter threshold")
-		shards   = flag.Int("shards", 0, "ingest through an N-shard parallel engine (0 = direct)")
-		batchStr = flag.String("batch", "", "semicolon-separated column lists answered as one F0 query batch (requires -shards)")
-		savePath = flag.String("save", "", "write the built summary's wire form to this file")
-		pushURL  = flag.String("push", "", "POST the built summary's wire form to this projfreqd base URL")
-		loadPath = flag.String("load", "", "answer queries from a saved summary blob instead of building one")
+		dataPath  = flag.String("data", "", "CSV file of rows (symbols in [q])")
+		q         = flag.Int("q", 2, "alphabet size Q")
+		demo      = flag.Bool("demo", false, "use a built-in demo dataset instead of -data")
+		kind      = flag.String("summary", "exact", "summary kind: exact | sample | net")
+		eps       = flag.Float64("eps", 0.05, "accuracy parameter")
+		delta     = flag.Float64("delta", 0.01, "failure probability (sample summary)")
+		alpha     = flag.Float64("alpha", 0.3, "alpha-net parameter (net summary)")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		queryStr  = flag.String("query", "", "comma-separated column indices (required)")
+		statsStr  = flag.String("stats", "f0,f1", "comma-separated stats: f0,f1,f2,hh,freq:<pattern>")
+		phi       = flag.Float64("phi", 0.1, "heavy hitter threshold")
+		shards    = flag.Int("shards", 0, "ingest through an N-shard parallel engine (0 = direct)")
+		batchStr  = flag.String("batch", "", "semicolon-separated column lists answered as one F0 query batch (requires -shards)")
+		batchRows = flag.Int("batch-rows", 0, "ingest rows in flat batches of this many rows (0 = one Observe per row)")
+		savePath  = flag.String("save", "", "write the built summary's wire form to this file")
+		pushURL   = flag.String("push", "", "POST the built summary's wire form to this projfreqd base URL")
+		loadPath  = flag.String("load", "", "answer queries from a saved summary blob instead of building one")
 	)
 	flag.Parse()
 
@@ -134,13 +138,8 @@ func run() error {
 				return err2
 			}
 		}
-		src := table.Source()
-		for {
-			w, ok := src.Next()
-			if !ok {
-				break
-			}
-			sum.Observe(w)
+		if err := ingest(sum, table.Source(), *batchRows); err != nil {
+			return err
 		}
 	}
 	fmt.Printf("summary=%s rows=%d dim=%d alphabet=%d bytes=%d\n",
@@ -175,6 +174,40 @@ func run() error {
 			}
 		}
 	}
+	return nil
+}
+
+// ingest streams every row of src into sum. With batchRows > 0 the
+// rows accumulate in one flat stride-d buffer (words.Batch) and enter
+// the summary — or the sharded engine's chunk router — a batch at a
+// time through the amortized core.BatchObserver path instead of one
+// Observe call per row.
+func ingest(sum core.Summary, src words.RowSource, batchRows int) error {
+	if batchRows < 0 {
+		return fmt.Errorf("-batch-rows must be non-negative")
+	}
+	if batchRows == 0 {
+		for {
+			w, ok := src.Next()
+			if !ok {
+				return nil
+			}
+			sum.Observe(w)
+		}
+	}
+	batch := words.NewBatch(src.Dim(), batchRows)
+	for {
+		w, ok := src.Next()
+		if !ok {
+			break
+		}
+		batch.Append(w)
+		if batch.Len() == batchRows {
+			core.ObserveAll(sum, batch)
+			batch.Reset()
+		}
+	}
+	core.ObserveAll(sum, batch)
 	return nil
 }
 

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"net/http"
@@ -112,6 +113,47 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 	if got != want {
 		t.Fatalf("loaded F0 %v != saved %v", got, want)
+	}
+}
+
+// TestIngestBatchRowsMatchesRowPath: -batch-rows ingestion produces a
+// summary bit-for-bit identical to per-row ingestion (the exact
+// summary's wire form is its retained rows in order).
+func TestIngestBatchRowsMatchesRowPath(t *testing.T) {
+	tb, err := loadData("", true, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func() core.Summary {
+		s, err := buildSummary("exact", tb.Dim(), tb.Alphabet(), 0.2, 0.05, 0.3, 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	rowWise := build()
+	if err := ingest(rowWise, tb.Source(), 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, batchRows := range []int{1, 7, 512, 1 << 20} {
+		batched := build()
+		if err := ingest(batched, tb.Source(), batchRows); err != nil {
+			t.Fatal(err)
+		}
+		want, err := core.MarshalSummary(rowWise)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := core.MarshalSummary(batched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("-batch-rows %d diverged from row-at-a-time ingestion", batchRows)
+		}
+	}
+	if err := ingest(build(), tb.Source(), -1); err == nil {
+		t.Fatal("negative -batch-rows must error")
 	}
 }
 

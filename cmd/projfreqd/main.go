@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -27,6 +28,9 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -34,10 +38,21 @@ import (
 	"repro/internal/words"
 )
 
-// maxBody bounds request bodies: pushed summaries and row batches.
-const maxBody = 1 << 28
+// defaultMaxBody bounds request bodies: pushed summaries and row
+// batches.
+const defaultMaxBody = 1 << 28
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "projfreqd:", err)
+		os.Exit(1)
+	}
+}
+
+// run owns the daemon lifecycle so that every exit path — listener
+// failure or a shutdown signal — drains in-flight requests and then
+// stops the engine, instead of os.Exit skipping both.
+func run() error {
 	var (
 		addr   = flag.String("addr", ":8080", "listen address")
 		kind   = flag.String("summary", "exact", "summary kind: exact | sample | net")
@@ -55,10 +70,8 @@ func main() {
 		return buildSummary(*kind, *d, *q, *eps, *delta, *alpha, *seed, shard)
 	}, engine.Config{Shards: *shards})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "projfreqd:", err)
-		os.Exit(1)
+		return err
 	}
-	defer eng.Close()
 
 	// Explicit server timeouts: MaxBytesReader bounds body size but
 	// not read duration, so stalled clients must not pin goroutines.
@@ -69,11 +82,41 @@ func main() {
 		ReadTimeout:       5 * time.Minute,
 		IdleTimeout:       2 * time.Minute,
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
 	log.Printf("projfreqd: serving %s on %s", eng.Name(), *addr)
-	if err := httpSrv.ListenAndServe(); err != nil {
-		fmt.Fprintln(os.Stderr, "projfreqd:", err)
-		os.Exit(1)
+
+	select {
+	case err := <-errc:
+		// Listener failure (typically the bind at startup, when the
+		// drain below is a no-op). Handlers on already-accepted
+		// connections may still be running, so drain before closing.
+		_ = drainThenClose(httpSrv, eng)
+		return err
+	case <-ctx.Done():
+		stop() // a second signal kills immediately
+		log.Printf("projfreqd: signal received, draining connections")
+		return drainThenClose(httpSrv, eng)
 	}
+}
+
+// drainThenClose waits for in-flight requests to finish, then stops
+// the engine. The order is load-bearing: handlers call into the
+// engine, and Sharded.Close must not run concurrently with
+// Observe/ObserveBatch — so if the drain budget expires with
+// handlers still live, the engine is deliberately left for process
+// exit rather than closed under them.
+func drainThenClose(srv *http.Server, eng *engine.Sharded) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	eng.Close()
+	return nil
 }
 
 // buildSummary constructs one shard summary via the configuration
@@ -85,13 +128,14 @@ func buildSummary(kind string, d, q int, eps, delta, alpha float64, seed uint64,
 
 // server is the HTTP face of one sharded engine.
 type server struct {
-	eng *engine.Sharded
-	mux *http.ServeMux
+	eng     *engine.Sharded
+	mux     *http.ServeMux
+	maxBody int64
 }
 
 // newServer wires the endpoint routes around the engine.
 func newServer(eng *engine.Sharded) *server {
-	s := &server{eng: eng, mux: http.NewServeMux()}
+	s := &server{eng: eng, mux: http.NewServeMux(), maxBody: defaultMaxBody}
 	s.mux.HandleFunc("POST /v1/observe", s.handleObserve)
 	s.mux.HandleFunc("POST /v1/push", s.handlePush)
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
@@ -102,7 +146,7 @@ func newServer(eng *engine.Sharded) *server {
 
 // ServeHTTP implements http.Handler.
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	r.Body = http.MaxBytesReader(w, r.Body, maxBody)
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -113,12 +157,28 @@ func httpError(w http.ResponseWriter, status int, err error) {
 	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
 }
 
+// bodyError maps a body-read failure to its status: a request larger
+// than the MaxBytesReader limit is the client exceeding a declared
+// contract (413), not a malformed body (400).
+func bodyError(w http.ResponseWriter, err error) {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("body exceeds the %d-byte limit", tooBig.Limit))
+		return
+	}
+	httpError(w, http.StatusBadRequest, err)
+}
+
 func writeJSON(w http.ResponseWriter, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// observeRequest is the /v1/observe body: a batch of rows.
+// observeRequest is the /v1/observe body: a batch of rows. The
+// handler does not unmarshal into this shape — it token-decodes the
+// body straight into a flat words.Batch — but the struct documents
+// the wire schema and is what clients (and the tests) marshal.
 type observeRequest struct {
 	Rows [][]uint16 `json:"rows"`
 }
@@ -130,30 +190,136 @@ type observeResponse struct {
 }
 
 func (s *server) handleObserve(w http.ResponseWriter, r *http.Request) {
-	var req observeRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding rows: %w", err))
+	batch, err := decodeObserveBatch(r.Body, s.eng.Dim(), s.eng.Alphabet())
+	if err != nil {
+		bodyError(w, err)
 		return
 	}
-	d, q := s.eng.Dim(), s.eng.Alphabet()
-	rows := make([]words.Word, len(req.Rows))
-	for i, raw := range req.Rows {
-		if len(raw) != d {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("row %d has %d symbols, want %d", i, len(raw), d))
-			return
-		}
-		row := words.Word(raw)
-		if err := row.Validate(q); err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("row %d: %w", i, err))
-			return
-		}
-		rows[i] = row
+	// Validation happened during decode, so a bad batch changes
+	// nothing; a good one enters through the engine's chunked batch
+	// path — one channel send per chunk, not per row.
+	s.eng.ObserveBatch(batch)
+	writeJSON(w, observeResponse{Accepted: batch.Len(), Rows: s.eng.Rows()})
+}
+
+// decodeObserveBatch token-decodes an observe body into a words.Batch,
+// writing symbols directly into the batch's flat backing array — no
+// per-row slice materializes anywhere on the ingest path. Rows are
+// validated (length d, symbols in [q]) as they decode.
+func decodeObserveBatch(body io.Reader, d, q int) (*words.Batch, error) {
+	dec := json.NewDecoder(body)
+	dec.UseNumber()
+	tok, err := dec.Token()
+	if err != nil {
+		return nil, fmt.Errorf("decoding rows: %w", err)
 	}
-	// Validate-all-then-observe-all: a bad batch changes nothing.
-	for _, row := range rows {
-		s.eng.Observe(row)
+	if tok != json.Delim('{') {
+		return nil, errors.New("decoding rows: body must be a JSON object")
 	}
-	writeJSON(w, observeResponse{Accepted: len(rows), Rows: s.eng.Rows()})
+	var batch *words.Batch
+	for dec.More() {
+		keyTok, err := dec.Token()
+		if err != nil {
+			return nil, fmt.Errorf("decoding rows: %w", err)
+		}
+		if key, _ := keyTok.(string); key == "rows" && batch == nil {
+			if batch, err = decodeRows(dec, d, q); err != nil {
+				return nil, err
+			}
+		} else if err := skipJSONValue(dec); err != nil {
+			return nil, fmt.Errorf("decoding rows: %w", err)
+		}
+	}
+	if _, err := dec.Token(); err != nil { // closing '}'
+		return nil, fmt.Errorf("decoding rows: %w", err)
+	}
+	if batch == nil {
+		batch = words.NewBatch(d, 0)
+	}
+	return batch, nil
+}
+
+// decodeRows parses the [[…], …] rows array into a fresh batch; the
+// decoder is positioned before the array's opening bracket.
+func decodeRows(dec *json.Decoder, d, q int) (*words.Batch, error) {
+	tok, err := dec.Token()
+	if err != nil {
+		return nil, fmt.Errorf("decoding rows: %w", err)
+	}
+	if tok == nil {
+		// "rows": null — what a client marshalling a nil slice sends;
+		// accepted as an empty batch, as the struct decoder did.
+		return words.NewBatch(d, 0), nil
+	}
+	if tok != json.Delim('[') {
+		return nil, errors.New("rows must be an array")
+	}
+	batch := words.NewBatch(d, 256)
+	for i := 0; dec.More(); i++ {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, fmt.Errorf("row %d: %w", i, err)
+		}
+		if tok != json.Delim('[') {
+			return nil, fmt.Errorf("row %d must be an array", i)
+		}
+		dst := batch.AppendRow()
+		j := 0
+		for ; dec.More(); j++ {
+			tok, err := dec.Token()
+			if err != nil {
+				return nil, fmt.Errorf("row %d: %w", i, err)
+			}
+			num, ok := tok.(json.Number)
+			if !ok {
+				return nil, fmt.Errorf("row %d symbol %d is not a number", i, j)
+			}
+			v, err := strconv.ParseUint(num.String(), 10, 16)
+			if err != nil {
+				return nil, fmt.Errorf("row %d symbol %d: %w", i, j, err)
+			}
+			if int(v) >= q {
+				return nil, fmt.Errorf("row %d: symbol %d outside alphabet [%d]", i, v, q)
+			}
+			if j >= d {
+				return nil, fmt.Errorf("row %d has more than %d symbols", i, d)
+			}
+			dst[j] = uint16(v)
+		}
+		if _, err := dec.Token(); err != nil { // closing ']'
+			return nil, fmt.Errorf("row %d: %w", i, err)
+		}
+		if j != d {
+			return nil, fmt.Errorf("row %d has %d symbols, want %d", i, j, d)
+		}
+	}
+	if _, err := dec.Token(); err != nil { // closing ']'
+		return nil, fmt.Errorf("decoding rows: %w", err)
+	}
+	return batch, nil
+}
+
+// skipJSONValue consumes one JSON value (scalar, array, or object)
+// from the decoder.
+func skipJSONValue(dec *json.Decoder) error {
+	depth := 0
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return err
+		}
+		if delim, ok := tok.(json.Delim); ok {
+			switch delim {
+			case '[', '{':
+				depth++
+			case ']', '}':
+				depth--
+			}
+		}
+		if depth == 0 {
+			return nil
+		}
+	}
 }
 
 // pushResponse reports a merged remote summary.
@@ -165,7 +331,7 @@ type pushResponse struct {
 func (s *server) handlePush(w http.ResponseWriter, r *http.Request) {
 	blob, err := io.ReadAll(r.Body)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("reading push body: %w", err))
+		bodyError(w, fmt.Errorf("reading push body: %w", err))
 		return
 	}
 	sum, err := core.UnmarshalSummary(blob)

@@ -8,6 +8,7 @@ import (
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -264,6 +265,84 @@ func TestDaemonRejectsBadInput(t *testing.T) {
 	}
 	if !qresp.Results[0].Unsupported {
 		t.Fatalf("sample F0 must be flagged unsupported: %+v", qresp.Results[0])
+	}
+}
+
+func TestDaemonOversizedBodyReturns413(t *testing.T) {
+	const d, q, seed = 5, 2, 3
+	eng, err := engine.NewSharded(func(shard int) (core.Summary, error) {
+		return buildSummary("exact", d, q, 0.25, 0.05, 0.3, seed, shard)
+	}, engine.Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(eng)
+	srv.maxBody = 64
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		eng.Close()
+	})
+
+	var rows [][]uint16
+	for i := 0; i < 64; i++ {
+		rows = append(rows, make([]uint16, d))
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/observe", observeRequest{Rows: rows})
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized observe: %d %s", resp.StatusCode, body)
+	}
+	if eng.Rows() != 0 {
+		t.Fatalf("oversized observe ingested %d rows", eng.Rows())
+	}
+	resp2, err := http.Post(ts.URL+"/v1/push", "application/octet-stream", bytes.NewReader(make([]byte, 4096)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized push: %d", resp2.StatusCode)
+	}
+	// Within-limit requests still work.
+	resp3, body3 := postJSON(t, ts.URL+"/v1/observe", observeRequest{Rows: [][]uint16{{0, 1, 0, 1, 0}}})
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("small observe: %d %s", resp3.StatusCode, body3)
+	}
+}
+
+func TestDecodeObserveBatch(t *testing.T) {
+	const d, q = 3, 4
+	// Well-formed body, with an unknown field the decoder must skip.
+	b, err := decodeObserveBatch(strings.NewReader(
+		`{"note": {"nested": [1, 2]}, "rows": [[0,1,2], [3,3,3]]}`), d, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 2 || !b.Row(0).Equal(words.Word{0, 1, 2}) || !b.Row(1).Equal(words.Word{3, 3, 3}) {
+		t.Fatalf("decoded %d rows: %v %v", b.Len(), b.Row(0), b.Row(1))
+	}
+	// Missing or null rows decode as an empty batch (a no-op observe,
+	// matching what the old struct decoder accepted).
+	for _, body := range []string{`{}`, `{"rows": null}`, `{"rows": []}`} {
+		if b, err := decodeObserveBatch(strings.NewReader(body), d, q); err != nil || b.Len() != 0 {
+			t.Fatalf("%s: %d rows, %v", body, b.Len(), err)
+		}
+	}
+	for name, body := range map[string]string{
+		"not an object":   `[[0,1,2]]`,
+		"rows not array":  `{"rows": 7}`,
+		"row not array":   `{"rows": [7]}`,
+		"short row":       `{"rows": [[0,1]]}`,
+		"long row":        `{"rows": [[0,1,2,3]]}`,
+		"symbol not int":  `{"rows": [[0,1,1.5]]}`,
+		"symbol out of q": `{"rows": [[0,1,4]]}`,
+		"negative symbol": `{"rows": [[0,1,-1]]}`,
+		"truncated":       `{"rows": [[0,1`,
+	} {
+		if _, err := decodeObserveBatch(strings.NewReader(body), d, q); err == nil {
+			t.Fatalf("%s must fail to decode", name)
+		}
 	}
 }
 

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/words"
+)
+
+// batchTestRows generates n deterministic skewed rows over [q]^d.
+func batchTestRows(d, q, n int, seed uint64) []words.Word {
+	src := rng.New(seed)
+	rows := make([]words.Word, n)
+	for i := range rows {
+		w := make(words.Word, d)
+		if src.Float64() < 0.4 {
+			// Heavy pattern on a prefix, noise on the tail.
+			for j := d / 2; j < d; j++ {
+				w[j] = uint16(src.Intn(q))
+			}
+		} else {
+			for j := range w {
+				w[j] = uint16(src.Intn(q))
+			}
+		}
+		rows[i] = w
+	}
+	return rows
+}
+
+// batchSummaryKinds builds one fresh instance of every summary kind.
+// Each factory must return an identically configured summary on every
+// call so the row-path and batch-path instances are twins.
+func batchSummaryKinds(t *testing.T, d, q int) map[string]func() Summary {
+	t.Helper()
+	return map[string]func() Summary{
+		"exact": func() Summary {
+			s, err := NewExact(d, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		},
+		"sample-wr": func() Summary {
+			s, err := NewSample(d, q, 48, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		},
+		"sample-reservoir": func() Summary {
+			s, err := NewSample(d, q, 48, 7, WithReservoir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		},
+		"net": func() Summary {
+			s, err := NewNet(d, q, NetConfig{Alpha: 0.3, Epsilon: 0.25, Moments: []float64{2}, StableReps: 12, Seed: 11})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		},
+		"subset": func() Summary {
+			s, err := NewSubset(d, q, 2, 0.25, 13, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		},
+		"registered": func() Summary {
+			subsets := []words.ColumnSet{
+				words.MustColumnSet(d, 0, 1),
+				words.MustColumnSet(d, 2, 3, 4),
+				words.MustColumnSet(d, 0, d-1),
+			}
+			s, err := NewRegistered(d, q, subsets, RegisteredConfig{Epsilon: 0.1, KHLLValues: 64, Seed: 17})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		},
+	}
+}
+
+// TestObserveBatchEquivalentToRows is the batch-path contract for all
+// five summary kinds: feeding rows through ObserveBatch — in uneven
+// batches, including empty and single-row ones, interleaved with
+// plain Observe calls — must leave the summary bit-for-bit identical
+// to row-at-a-time ingestion, pinned by wire-format byte equality
+// (the blob carries rows, sketch state, and sampler RNG state).
+func TestObserveBatchEquivalentToRows(t *testing.T) {
+	const d, q, n = 8, 4, 600
+	rows := batchTestRows(d, q, n, 1)
+	// Uneven batch splits exercising empty, single-row, and large
+	// batches; -1 marks a row fed through plain Observe in between.
+	splits := []int{3, 0, 1, -1, 97, 64, -1, -1, 200}
+	for name, fresh := range batchSummaryKinds(t, d, q) {
+		t.Run(name, func(t *testing.T) {
+			rowWise := fresh()
+			for _, w := range rows {
+				rowWise.Observe(w)
+			}
+			batched := fresh()
+			bo, ok := batched.(BatchObserver)
+			if !ok {
+				t.Fatalf("%s does not implement BatchObserver", batched.Name())
+			}
+			i := 0
+			for _, size := range splits {
+				if i >= n {
+					break
+				}
+				if size < 0 {
+					batched.Observe(rows[i])
+					i++
+					continue
+				}
+				if i+size > n {
+					size = n - i
+				}
+				b := words.NewBatch(d, size)
+				for _, w := range rows[i : i+size] {
+					b.Append(w)
+				}
+				bo.ObserveBatch(b)
+				// Reuse-after-ingest: the summary must have copied
+				// anything it kept.
+				for r := 0; r < b.Len(); r++ {
+					for j := range b.Row(r) {
+						b.Row(r)[j] = uint16(q - 1)
+					}
+				}
+				i += size
+			}
+			// Remainder in one final batch.
+			b := words.NewBatch(d, n-i)
+			for _, w := range rows[i:] {
+				b.Append(w)
+			}
+			bo.ObserveBatch(b)
+
+			if batched.Rows() != rowWise.Rows() {
+				t.Fatalf("rows %d != %d", batched.Rows(), rowWise.Rows())
+			}
+			want, err := MarshalSummary(rowWise)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := MarshalSummary(batched)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("batch-path wire form differs from row-path (%d vs %d bytes)", len(got), len(want))
+			}
+		})
+	}
+}
+
+// TestObserveBatchEmptyIsNoOp pins the empty-batch contract.
+func TestObserveBatchEmptyIsNoOp(t *testing.T) {
+	const d, q = 8, 4
+	for name, fresh := range batchSummaryKinds(t, d, q) {
+		s := fresh()
+		before, err := MarshalSummary(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.(BatchObserver).ObserveBatch(words.NewBatch(d, 0))
+		after, err := MarshalSummary(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(before, after) {
+			t.Fatalf("%s: empty batch mutated the summary", name)
+		}
+	}
+}
+
+// TestObserveBatchDimensionMismatchPanics: the batch path enforces
+// shape like Observe does.
+func TestObserveBatchDimensionMismatchPanics(t *testing.T) {
+	const d, q = 8, 4
+	for name, fresh := range batchSummaryKinds(t, d, q) {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: wrong-dimension batch must panic", name)
+				}
+			}()
+			b := words.NewBatch(d+1, 1)
+			b.Append(make(words.Word, d+1))
+			fresh().(BatchObserver).ObserveBatch(b)
+		}()
+	}
+}
+
+// TestObserveAllFallsBackWithoutBatchSupport covers the helper's
+// row-at-a-time fallback for summaries without ObserveBatch.
+func TestObserveAllFallsBackWithoutBatchSupport(t *testing.T) {
+	s := &rowOnlySummary{d: 4}
+	b := words.NewBatch(4, 3)
+	for i := uint16(0); i < 3; i++ {
+		b.Append(words.Word{i, i, i, i})
+	}
+	ObserveAll(s, b)
+	if s.rows != 3 {
+		t.Fatalf("fallback fed %d rows, want 3", s.rows)
+	}
+	ex, err := NewExact(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ObserveAll(ex, b)
+	if ex.Rows() != 3 || !ex.Table().Row(2).Equal(words.Word{2, 2, 2, 2}) {
+		t.Fatalf("batched ObserveAll: %d rows", ex.Rows())
+	}
+}
+
+// rowOnlySummary implements Summary but not BatchObserver.
+type rowOnlySummary struct {
+	d    int
+	rows int64
+}
+
+func (s *rowOnlySummary) Observe(words.Word) { s.rows++ }
+func (s *rowOnlySummary) Dim() int           { return s.d }
+func (s *rowOnlySummary) Alphabet() int      { return 2 }
+func (s *rowOnlySummary) Rows() int64        { return s.rows }
+func (s *rowOnlySummary) SizeBytes() int     { return 0 }
+func (s *rowOnlySummary) Name() string       { return "row-only" }

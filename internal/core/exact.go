@@ -33,6 +33,10 @@ func NewExact(d, q int) (*Exact, error) {
 // Observe appends a copy of the row.
 func (e *Exact) Observe(w words.Word) { e.table.Append(w) }
 
+// ObserveBatch implements BatchObserver: the whole batch is retained
+// with a single flat append instead of one per row.
+func (e *Exact) ObserveBatch(b *words.Batch) { e.table.AppendBatch(b) }
+
 // Dim returns d.
 func (e *Exact) Dim() int { return e.table.Dim() }
 

@@ -230,6 +230,25 @@ func (s *Net) Observe(w words.Word) {
 	}
 }
 
+// ObserveBatch implements BatchObserver: each meta-summary streams
+// the whole batch member-major (anet.MetaSummary.ObserveBatch), so
+// per-member projection setup is paid once per batch rather than once
+// per row. Sketch states are identical to row-at-a-time ingestion.
+func (s *Net) ObserveBatch(b *words.Batch) {
+	if b.Dim() != s.d {
+		panic(fmt.Sprintf("core: batch dimension %d != data dimension %d", b.Dim(), s.d))
+	}
+	n := b.Len()
+	if n == 0 {
+		return
+	}
+	s.rows += int64(n)
+	s.f0.ObserveBatch(b)
+	for _, m := range s.fp {
+		m.ObserveBatch(b)
+	}
+}
+
 // Dim returns d.
 func (s *Net) Dim() int { return s.d }
 

@@ -126,6 +126,36 @@ func (s *Registered) Observe(w words.Word) {
 	}
 }
 
+// ObserveBatch implements BatchObserver, subset-major: each registered
+// subset's F0 and KHLL sketches consume the whole batch in one inner
+// loop over its projection buffer, with KHLL ids assigned from the
+// running row index exactly as row-at-a-time Observe would — so the
+// sketch states (and the per-stream id semantics Merge documents) are
+// identical to the row path.
+func (s *Registered) ObserveBatch(b *words.Batch) {
+	if b.Dim() != s.d {
+		panic(fmt.Sprintf("core: batch dimension %d != dimension %d", b.Dim(), s.d))
+	}
+	n := b.Len()
+	if n == 0 {
+		return
+	}
+	base := uint64(s.rows)
+	s.rows += int64(n)
+	for i, c := range s.subsets {
+		buf := s.bufs[i]
+		f0, khll := s.f0[i], s.khll[i]
+		full := words.FullColumnSet(c.Len())
+		for r := 0; r < n; r++ {
+			b.Row(r).ProjectInto(c, buf)
+			s.keyBuf = words.AppendKey(s.keyBuf[:0], buf, full)
+			fp := hashing.Fingerprint64(s.keyBuf)
+			f0.Add(fp)
+			khll.Add(fp, base+uint64(r))
+		}
+	}
+}
+
 // Dim returns d.
 func (s *Registered) Dim() int { return s.d }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"sort"
 
@@ -112,6 +113,21 @@ func (s *Sample) Observe(w words.Word) {
 		s.rs.Observe(w)
 	} else {
 		s.wr.Observe(w)
+	}
+}
+
+// ObserveBatch implements BatchObserver: the underlying sampler
+// replays its draws over the whole batch and clones at most one row
+// per sample slot, instead of one per acceptance. The sampler state
+// is bit-for-bit what row-at-a-time Observe produces.
+func (s *Sample) ObserveBatch(b *words.Batch) {
+	if b.Dim() != s.d {
+		panic(fmt.Sprintf("core: batch dimension %d != data dimension %d", b.Dim(), s.d))
+	}
+	if s.reservoir {
+		s.rs.ObserveBatch(b)
+	} else {
+		s.wr.ObserveBatch(b)
 	}
 }
 

@@ -97,6 +97,34 @@ func (s *Subset) Observe(w words.Word) {
 	}
 }
 
+// ObserveBatch implements BatchObserver, subset-major: the outer loop
+// walks the C(d, t) subsets once per batch and the inner loop streams
+// every row through that subset's projection buffer and sketch, so
+// per-subset setup (column set, buffer, key staging) is amortized over
+// the batch and each KMV's working set stays hot. Sketch states are
+// identical to row-at-a-time ingestion (KMV union is order-free and
+// each sketch sees the same fingerprint sequence).
+func (s *Subset) ObserveBatch(b *words.Batch) {
+	if b.Dim() != s.d {
+		panic(fmt.Sprintf("core: batch dimension %d != data dimension %d", b.Dim(), s.d))
+	}
+	n := b.Len()
+	if n == 0 {
+		return
+	}
+	s.rows += int64(n)
+	full := words.FullColumnSet(s.t)
+	for i, cs := range s.subsets {
+		buf := s.bufs[i]
+		sk := s.sk[i]
+		for r := 0; r < n; r++ {
+			b.Row(r).ProjectInto(cs, buf)
+			s.keyBuf = words.AppendKey(s.keyBuf[:0], buf, full)
+			sk.Add(hashing.Fingerprint64(s.keyBuf))
+		}
+	}
+}
+
 // Dim returns d.
 func (s *Subset) Dim() int { return s.d }
 

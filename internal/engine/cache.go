@@ -6,12 +6,18 @@ import "sync"
 // generation counter. Entries belong to one merged snapshot; clear
 // advances the generation, so results computed against a superseded
 // snapshot are dropped instead of stored (the put racing a clear).
+//
+// Insertion order is tracked in a fixed-size ring: order grows to at
+// most cap slots and evictions overwrite the oldest slot in place
+// (head), so sustained churn at capacity reuses the same backing
+// array instead of growing it with every slice-off-the-front.
 type queryCache struct {
 	mu    sync.Mutex
 	cap   int
 	gen   uint64
 	m     map[string]Result
-	order []string // insertion order, for FIFO eviction
+	order []string // insertion-order ring, len ≤ cap
+	head  int      // index of the oldest entry once the ring is full
 }
 
 func newQueryCache(capacity int) *queryCache {
@@ -32,6 +38,7 @@ func (c *queryCache) clear() uint64 {
 	c.gen++
 	c.m = make(map[string]Result, c.cap)
 	c.order = c.order[:0]
+	c.head = 0
 	return c.gen
 }
 
@@ -62,10 +69,13 @@ func (c *queryCache) put(key string, r Result, gen uint64) {
 	}
 	if _, dup := c.m[key]; !dup {
 		if len(c.order) >= c.cap {
-			delete(c.m, c.order[0])
-			c.order = c.order[1:]
+			// Full: overwrite the oldest ring slot in place.
+			delete(c.m, c.order[c.head])
+			c.order[c.head] = key
+			c.head = (c.head + 1) % len(c.order)
+		} else {
+			c.order = append(c.order, key)
 		}
-		c.order = append(c.order, key)
 	}
 	c.m[key] = r
 }

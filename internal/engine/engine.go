@@ -42,6 +42,9 @@ type Config struct {
 	Queue int
 	// CacheSize bounds the query result cache (default 1024 entries).
 	CacheSize int
+	// BatchChunk caps the rows per shard chunk that ObserveBatch
+	// routes in one channel send (default 256).
+	BatchChunk int
 }
 
 func (c Config) withDefaults() Config {
@@ -54,13 +57,18 @@ func (c Config) withDefaults() Config {
 	if c.CacheSize <= 0 {
 		c.CacheSize = 1024
 	}
+	if c.BatchChunk <= 0 {
+		c.BatchChunk = 256
+	}
 	return c
 }
 
-// shardMsg is one channel element: either a row to observe or a
-// barrier (ack != nil) that pauses the worker until resume closes.
+// shardMsg is one channel element: a row to observe, a flat chunk of
+// rows (rows != nil, stride = engine dimension), or a barrier
+// (ack != nil) that pauses the worker until resume closes.
 type shardMsg struct {
 	row    words.Word
+	rows   []uint16
 	ack    chan<- struct{}
 	resume <-chan struct{}
 }
@@ -124,13 +132,25 @@ func NewSharded(factory Factory, cfg Config) (*Sharded, error) {
 func (s *Sharded) worker(i int) {
 	defer s.workers.Done()
 	sum := s.shards[i]
+	d := sum.Dim()
+	batcher, _ := sum.(core.BatchObserver)
 	for m := range s.chans[i] {
-		if m.ack != nil {
+		switch {
+		case m.ack != nil:
 			m.ack <- struct{}{}
 			<-m.resume
-			continue
+		case m.rows != nil:
+			chunk := words.BatchOf(d, m.rows)
+			if batcher != nil {
+				batcher.ObserveBatch(chunk)
+			} else {
+				for r, n := 0, chunk.Len(); r < n; r++ {
+					sum.Observe(chunk.Row(r))
+				}
+			}
+		default:
+			sum.Observe(m.row)
 		}
-		sum.Observe(m.row)
 	}
 }
 
@@ -138,13 +158,52 @@ func (s *Sharded) worker(i int) {
 // for concurrent callers; the row is cloned before handoff, honouring
 // the Summary contract that the argument is not retained. It must not
 // be called after Close.
+//
+// The row counts as accepted only once it is in the shard queue: the
+// accepted-rows clock ticks after the channel send, so a concurrent
+// Flush that observes the new count is guaranteed to find the row
+// behind its quiesce barrier and reflect it in the snapshot.
 func (s *Sharded) Observe(w words.Word) {
 	if s.closed.Load() {
 		panic("engine: Observe after Close")
 	}
 	i := s.next.Add(1) % uint64(len(s.chans))
-	s.enqueued.Add(1)
 	s.chans[i] <- shardMsg{row: w.Clone()}
+	s.enqueued.Add(1)
+}
+
+// ObserveBatch routes a whole batch of rows to the shard workers in
+// chunks of at most Config.BatchChunk rows: one arena copy and one
+// channel send per chunk, instead of one clone, one atomic increment,
+// and one send per row. Chunks are distributed round-robin with the
+// same routing counter as Observe, and each worker feeds its summary
+// through the summary's own batched path (core.BatchObserver), so the
+// merged result is identical to observing every row individually —
+// only the shard assignment granularity differs, which the merge
+// contract makes invisible. Safe for concurrent callers; b is not
+// retained and may be reused (or mutated) as soon as the call
+// returns. It must not be called after Close.
+func (s *Sharded) ObserveBatch(b *words.Batch) {
+	if s.closed.Load() {
+		panic("engine: ObserveBatch after Close")
+	}
+	if b.Dim() != s.Dim() {
+		panic(fmt.Sprintf("engine: batch dimension %d != engine dimension %d", b.Dim(), s.Dim()))
+	}
+	n := b.Len()
+	d := b.Dim()
+	flat := b.Symbols()
+	for lo := 0; lo < n; lo += s.cfg.BatchChunk {
+		hi := lo + s.cfg.BatchChunk
+		if hi > n {
+			hi = n
+		}
+		arena := make([]uint16, (hi-lo)*d)
+		copy(arena, flat[lo*d:hi*d])
+		i := s.next.Add(1) % uint64(len(s.chans))
+		s.chans[i] <- shardMsg{rows: arena}
+		s.enqueued.Add(int64(hi - lo))
+	}
 }
 
 // quiesce pauses every worker at a channel barrier (all previously
@@ -189,6 +248,17 @@ func (s *Sharded) snapshotGen() (core.Summary, uint64, error) {
 	if s.snap != nil && s.snapRows == s.enqueued.Load() {
 		return s.snap, s.cache.generation(), nil
 	}
+	// Read the accepted-rows clock before posting the barrier: every
+	// row counted by now was sent before it was counted, so it sits in
+	// a shard queue ahead of the barrier and lands in this merge. The
+	// merge may additionally pick up rows whose Observe has sent but
+	// not yet counted; recording the pre-barrier clock (rather than
+	// the merge's own row count) keeps the staleness check sound —
+	// when a later load matches snapRows, the accepted set is
+	// unchanged and fully contained in the snapshot. Counting merged
+	// rows instead would let a sent-but-uncounted row masquerade as a
+	// later accepted one and serve a snapshot missing it.
+	accepted := s.enqueued.Load()
 	merged, err := s.factory(len(s.shards))
 	if err != nil {
 		return nil, 0, fmt.Errorf("engine: snapshot factory: %w", err)
@@ -209,7 +279,7 @@ func (s *Sharded) snapshotGen() (core.Summary, uint64, error) {
 		return nil, 0, err
 	}
 	s.snap = merged
-	s.snapRows = merged.Rows()
+	s.snapRows = accepted
 	gen := s.cache.clear()
 	return merged, gen, nil
 }

@@ -3,6 +3,7 @@ package engine
 import (
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"math"
 	"sync"
 	"testing"
@@ -329,6 +330,259 @@ func TestConcurrentObserveAndQuery(t *testing.T) {
 	}
 	if snap.Rows() != want {
 		t.Fatalf("snapshot rows %d, want %d", snap.Rows(), want)
+	}
+}
+
+// TestShardedObserveBatchMatchesRowPath: batch ingestion through the
+// engine answers every query exactly like per-row ingestion — chunked
+// routing only changes which shard holds which rows, which the merge
+// contract makes invisible. Checked for Exact (order-free merge) and
+// a same-seed Net (sketch merges are exact).
+func TestShardedObserveBatchMatchesRowPath(t *testing.T) {
+	tb := testTable(5000, 8)
+	netCfg := core.NetConfig{Alpha: 0.3, Epsilon: 0.25, Moments: []float64{2}, StableReps: 20, Seed: 7}
+	for _, tc := range []struct {
+		name    string
+		factory Factory
+	}{
+		{"exact", exactFactory(10, 2)},
+		{"net", netFactory(10, 2, netCfg)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rowEng, err := NewSharded(tc.factory, Config{Shards: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rowEng.Close()
+			feedEngine(t, rowEng, tb)
+
+			batchEng, err := NewSharded(tc.factory, Config{Shards: 3, BatchChunk: 64})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer batchEng.Close()
+			// Feed in uneven batches, reusing one Batch buffer across
+			// calls: the engine must copy chunks before handoff.
+			batch := words.NewBatch(10, 128)
+			src := tb.Source()
+			sizes := []int{1, 97, 3, 128, 64}
+			for si := 0; ; si++ {
+				batch.Reset()
+				want := sizes[si%len(sizes)]
+				for batch.Len() < want {
+					w, ok := src.Next()
+					if !ok {
+						break
+					}
+					batch.Append(w)
+				}
+				if batch.Len() == 0 {
+					break
+				}
+				batchEng.ObserveBatch(batch)
+			}
+			if batchEng.Rows() != rowEng.Rows() {
+				t.Fatalf("rows %d != %d", batchEng.Rows(), rowEng.Rows())
+			}
+			for _, cols := range [][]int{{0, 1, 2}, {5, 6}, {3, 7, 9}} {
+				c := words.MustColumnSet(10, cols...)
+				queries := []Query{
+					{Kind: KindF0, Cols: c},
+					{Kind: KindFp, Cols: c, P: 2},
+				}
+				if tc.name == "exact" {
+					queries = append(queries, Query{Kind: KindFrequency, Cols: c, Pattern: make(words.Word, len(cols))})
+				}
+				got := batchEng.QueryBatch(queries)
+				want := rowEng.QueryBatch(queries)
+				for i := range queries {
+					if got[i].Err != nil || want[i].Err != nil {
+						t.Fatal(got[i].Err, want[i].Err)
+					}
+					if math.Abs(got[i].Value-want[i].Value) > 1e-9*math.Abs(want[i].Value) {
+						t.Fatalf("%s %v: batch %v != row %v", queries[i].Kind, cols, got[i].Value, want[i].Value)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFlushReflectsAcceptedRows is the regression test for the
+// accepted-rows clock ordering: Observe/ObserveBatch must count a row
+// only once it is in a shard queue, so any Flush that starts after an
+// Observe returned is guaranteed to reflect that row. The old code
+// incremented the clock before the channel send, letting a concurrent
+// Flush quiesce in the gap and return a snapshot claiming rows it did
+// not contain.
+func TestFlushReflectsAcceptedRows(t *testing.T) {
+	eng, err := NewSharded(exactFactory(10, 2), Config{Shards: 4, Queue: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			row := make(words.Word, 10)
+			batch := words.NewBatch(10, 8)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if i%3 == 0 {
+					batch.Reset()
+					for r := 0; r < 5; r++ {
+						batch.Append(row)
+					}
+					eng.ObserveBatch(batch)
+				} else {
+					eng.Observe(row)
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 60; i++ {
+		accepted := eng.Rows()
+		snap, err := eng.Flush()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.Rows() < accepted {
+			t.Fatalf("flush snapshot has %d rows, but %d were accepted before the flush", snap.Rows(), accepted)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestObserveBatchInterleavedWithAbsorbAndQueryBatch drives batched
+// ingestion, donor merges, and batched queries concurrently (the
+// -race soundness check for the batch path), then verifies the final
+// row accounting.
+func TestObserveBatchInterleavedWithAbsorbAndQueryBatch(t *testing.T) {
+	eng, err := NewSharded(exactFactory(10, 2), Config{Shards: 4, Queue: 32, BatchChunk: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		writers       = 3
+		batchesPerW   = 40
+		rowsPerBatch  = 25
+		absorbs       = 10
+		rowsPerDonor  = 30
+		readerQueries = 30
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			src := rng.New(uint64(w + 100))
+			batch := words.NewBatch(10, rowsPerBatch)
+			for i := 0; i < batchesPerW; i++ {
+				batch.Reset()
+				for r := 0; r < rowsPerBatch; r++ {
+					row := batch.AppendRow()
+					for j := range row {
+						row[j] = uint16(src.Intn(2))
+					}
+				}
+				eng.ObserveBatch(batch)
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < absorbs; i++ {
+			donor, err := core.NewExact(10, 2)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			row := make(words.Word, 10)
+			for r := 0; r < rowsPerDonor; r++ {
+				row[0] = uint16(r % 2)
+				donor.Observe(row)
+			}
+			if err := eng.Absorb(donor); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c := words.MustColumnSet(10, 0, 1, 2)
+		for i := 0; i < readerQueries; i++ {
+			res := eng.QueryBatch([]Query{
+				{Kind: KindF0, Cols: c},
+				{Kind: KindFp, Cols: c, P: 2},
+			})
+			for _, r := range res {
+				if r.Err != nil {
+					t.Error(r.Err)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	eng.Close()
+	want := int64(writers*batchesPerW*rowsPerBatch + absorbs*rowsPerDonor)
+	if eng.Rows() != want {
+		t.Fatalf("rows %d, want %d", eng.Rows(), want)
+	}
+	snap, err := eng.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Rows() != want {
+		t.Fatalf("snapshot rows %d, want %d", snap.Rows(), want)
+	}
+}
+
+// TestCacheEvictionChurnBounded is the regression test for the
+// grow-without-bound eviction bug: sustained churn at capacity must
+// keep the insertion-order ring at len == cap (same backing array)
+// while preserving FIFO eviction.
+func TestCacheEvictionChurnBounded(t *testing.T) {
+	const capacity = 8
+	c := newQueryCache(capacity)
+	gen := c.generation()
+	var ringOnce []string
+	for i := 0; i < 10_000; i++ {
+		c.put(fmt.Sprintf("k%d", i), Result{Value: float64(i)}, gen)
+		if len(c.order) > capacity || len(c.m) > capacity {
+			t.Fatalf("cache overflow at put %d: ring %d, map %d", i, len(c.order), len(c.m))
+		}
+		if i == capacity {
+			ringOnce = c.order[:capacity:capacity]
+		}
+	}
+	// The ring never regrew: the backing array is the one from the
+	// moment it first filled.
+	if &ringOnce[0] != &c.order[0] {
+		t.Fatal("eviction churn reallocated the order ring")
+	}
+	// FIFO still holds: exactly the last `capacity` keys survive.
+	for i := 10_000 - capacity; i < 10_000; i++ {
+		if _, ok := c.get(fmt.Sprintf("k%d", i), gen); !ok {
+			t.Fatalf("recent key k%d evicted", i)
+		}
+	}
+	if _, ok := c.get(fmt.Sprintf("k%d", 10_000-capacity-1), gen); ok {
+		t.Fatal("old key survived FIFO eviction")
+	}
+	if c.len() != capacity {
+		t.Fatalf("cache len %d, want %d", c.len(), capacity)
 	}
 }
 

@@ -66,6 +66,33 @@ func (s *WithReplacement) Observe(w words.Word) {
 	}
 }
 
+// ObserveBatch feeds every row of b, slot-major: each slot replays its
+// private reservoir draws over the whole batch and only the last
+// accepted row (if any) is cloned, so a batch costs at most one clone
+// per slot instead of one per acceptance. The draw sequence per slot
+// is identical to row-at-a-time Observe, so the resulting sampler
+// state is bit-for-bit the same.
+func (s *WithReplacement) ObserveBatch(b *words.Batch) {
+	n := b.Len()
+	if n == 0 {
+		return
+	}
+	base := uint64(s.seen)
+	for i := range s.rows {
+		src := s.srcs[i]
+		keep := -1
+		for r := 0; r < n; r++ {
+			if src.Uint64n(base+uint64(r)+1) == 0 {
+				keep = r
+			}
+		}
+		if keep >= 0 {
+			s.rows[i] = b.Row(keep).Clone()
+		}
+	}
+	s.seen += int64(n)
+}
+
 // Merge folds another with-replacement sampler built over a disjoint
 // segment of the stream into s. Slot i keeps its own row with
 // probability seen/(seen+other.seen) and takes the peer's otherwise,
@@ -168,6 +195,33 @@ func (r *Reservoir) Observe(w words.Word) {
 	j := r.src.Uint64n(uint64(r.seen))
 	if j < uint64(r.t) {
 		r.rows[j] = w.Clone()
+	}
+}
+
+// ObserveBatch feeds every row of b with the same draw sequence as
+// row-at-a-time Observe, but defers cloning: a slot hit several times
+// within the batch keeps only the last assignment, so the batch costs
+// one clone per touched slot rather than one per acceptance. The
+// resulting reservoir state is bit-for-bit identical to the row path.
+func (r *Reservoir) ObserveBatch(b *words.Batch) {
+	n := b.Len()
+	i := 0
+	for ; i < n && len(r.rows) < r.t; i++ {
+		r.seen++
+		r.rows = append(r.rows, b.Row(i).Clone())
+	}
+	var pending map[uint64]int
+	for ; i < n; i++ {
+		r.seen++
+		if j := r.src.Uint64n(uint64(r.seen)); j < uint64(r.t) {
+			if pending == nil {
+				pending = make(map[uint64]int)
+			}
+			pending[j] = i
+		}
+	}
+	for j, row := range pending {
+		r.rows[j] = b.Row(row).Clone()
 	}
 }
 

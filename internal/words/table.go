@@ -99,6 +99,16 @@ func (t *Table) Append(w Word) {
 	t.data = append(t.data, w...)
 }
 
+// AppendBatch adds a copy of every row of b in one flat append — the
+// amortized bulk form of Append. It panics if b's dimension differs
+// from the table's.
+func (t *Table) AppendBatch(b *Batch) {
+	if b.Dim() != t.d {
+		panic(fmt.Sprintf("words: batch dimension %d != table dimension %d", b.Dim(), t.d))
+	}
+	t.data = append(t.data, b.Symbols()...)
+}
+
 // AppendRepeated adds count copies of w.
 func (t *Table) AppendRepeated(w Word, count int) {
 	for i := 0; i < count; i++ {

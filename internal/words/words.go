@@ -199,9 +199,8 @@ func Index(w Word, q int) (uint64, error) {
 		if hi != 0 {
 			return 0, ErrIndexOverflow
 		}
-		idx, lo = lo+uint64(x), 0
-		_ = lo
-		if idx < uint64(x) {
+		idx = lo + uint64(x)
+		if idx < lo {
 			return 0, ErrIndexOverflow
 		}
 	}

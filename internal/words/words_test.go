@@ -2,6 +2,7 @@ package words
 
 import (
 	"errors"
+	"math"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -242,6 +243,51 @@ func TestIndexErrors(t *testing.T) {
 	}
 	if _, err := Index(big, 2); !errors.Is(err, ErrIndexOverflow) {
 		t.Fatalf("want ErrIndexOverflow, got %v", err)
+	}
+}
+
+func TestIndexUint64Boundary(t *testing.T) {
+	// Q^|C| exactly 2^64: q = 2^16, |C| = 4. Every word fits — the
+	// largest index is 2^64 - 1.
+	maxSym := uint16(MaxAlphabet - 1)
+	top := Word{maxSym, maxSym, maxSym, maxSym}
+	idx, err := Index(top, MaxAlphabet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != math.MaxUint64 {
+		t.Fatalf("Index(max word, 2^16) = %d, want 2^64-1", idx)
+	}
+	// 64 binary symbols: max index 2^64 - 1, still representable.
+	ones := make(Word, 64)
+	for i := range ones {
+		ones[i] = 1
+	}
+	if idx, err := Index(ones, 2); err != nil || idx != math.MaxUint64 {
+		t.Fatalf("Index(1^64, 2) = %d, %v, want 2^64-1", idx, err)
+	}
+	// Q^|C| just above 2^64: a fifth symbol overflows unless the
+	// leading symbols keep the value in range.
+	if _, err := Index(append(Word{1}, make(Word, 4)...), MaxAlphabet); !errors.Is(err, ErrIndexOverflow) {
+		t.Fatalf("2^64 must overflow, got %v", err)
+	}
+	if idx, err := Index(append(Word{0}, top...), MaxAlphabet); err != nil || idx != math.MaxUint64 {
+		t.Fatalf("leading zero keeps 2^64-1 in range: %d, %v", idx, err)
+	}
+	// The multiply-step overflow (hi != 0) as well as the add-step
+	// overflow (hi == 0 but lo + x wraps) must both be caught. The
+	// add case needs a non-power-of-two alphabet: over q = 3, the
+	// prefix indexing (2^64-1)/3 followed by symbol x lands exactly
+	// on 2^64-1+x.
+	if _, err := Index(Word{2, 0, 0, 0, 0}, MaxAlphabet); !errors.Is(err, ErrIndexOverflow) {
+		t.Fatalf("multiply overflow must be caught, got %v", err)
+	}
+	prefix := WordAt(math.MaxUint64/3, 3, 41)
+	if idx, err := Index(append(prefix, 0), 3); err != nil || idx != math.MaxUint64 {
+		t.Fatalf("Index(prefix·0, 3) = %d, %v, want 2^64-1", idx, err)
+	}
+	if _, err := Index(append(prefix, 1), 3); !errors.Is(err, ErrIndexOverflow) {
+		t.Fatalf("add overflow must be caught, got %v", err)
 	}
 }
 
