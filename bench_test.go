@@ -18,6 +18,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/freq"
 	"repro/internal/hashing"
+	"repro/internal/registry"
 	"repro/internal/rng"
 	"repro/internal/sample"
 	"repro/internal/sketch"
@@ -508,6 +509,116 @@ func benchShardedQueryBatch(b *testing.B, invalidate bool) {
 
 func BenchmarkShardedQueryBatch_Warm(b *testing.B) { benchShardedQueryBatch(b, false) }
 func BenchmarkShardedQueryBatch_Cold(b *testing.B) { benchShardedQueryBatch(b, true) }
+
+// --- Planner-routed queries over a multi-subspace engine. The
+// workload mixes exact-match, covering, and full-fallback routes over
+// an exact catch-all (whose O(n·|C|) queries are the expensive case
+// parallel evaluation pays for). CacheSize 1 keeps every iteration
+// computing, so the parallel/sequential comparison measures the
+// evaluation pool, not the cache: the acceptance bar is the parallel
+// sub-benchmark beating the sequential one per processed batch.
+
+func plannedBenchEngine(b *testing.B) (*engine.Sharded, []engine.Query) {
+	b.Helper()
+	eng, err := engine.NewSharded(func(int) (core.Summary, error) {
+		return core.NewExact(12, 2)
+	}, engine.Config{Shards: 4, CacheSize: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(eng.Close)
+	subspaces := [][]int{{0, 1, 2}, {3, 4, 5}, {6, 7, 8}, {9, 10, 11}}
+	for _, cols := range subspaces {
+		if err := eng.RegisterSubspace(words.MustColumnSet(12, cols...), func(int) (core.Summary, error) {
+			return core.NewExact(12, 2)
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	words.Drain(workload.Uniform(12, 2, 20000, 33), eng.Observe)
+	var qs []engine.Query
+	for i := 0; i < 12; i++ {
+		exact := words.MustColumnSet(12, subspaces[i%4]...) // exact-match route
+		cover := words.MustColumnSet(12, i%11, i%11+1)      // covering or full
+		qs = append(qs, engine.Query{Kind: engine.KindF0, Cols: exact})
+		qs = append(qs, engine.Query{Kind: engine.KindF0, Cols: cover})
+		qs = append(qs, engine.Query{Kind: engine.KindFp, Cols: exact, P: 2})
+		qs = append(qs, engine.Query{Kind: engine.KindFp, Cols: cover, P: 2})
+	}
+	if r := eng.QueryBatch(qs[:1]); r[0].Err != nil { // snapshot outside the timer
+		b.Fatal(r[0].Err)
+	}
+	return eng, qs
+}
+
+// BenchmarkPlannedQueryBatch is the acceptance benchmark for the
+// planner-routed parallel query path: "parallel" answers the whole
+// mixed batch in one QueryBatch (plan → group → bounded pool →
+// reassemble), "sequential" answers the same queries one QueryBatch
+// call at a time. One iteration processes the full batch in both, so
+// ns/op compare directly.
+func BenchmarkPlannedQueryBatch(b *testing.B) {
+	b.Run("parallel", func(b *testing.B) {
+		eng, qs := plannedBenchEngine(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res := eng.QueryBatch(qs)
+			if res[0].Err != nil {
+				b.Fatal(res[0].Err)
+			}
+		}
+	})
+	b.Run("sequential", func(b *testing.B) {
+		eng, qs := plannedBenchEngine(b)
+		one := make([]engine.Query, 1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, q := range qs {
+				one[0] = q
+				if res := eng.QueryBatch(one); res[0].Err != nil {
+					b.Fatal(res[0].Err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkRegistryPlan measures raw planner throughput: exact-match
+// lookups, covering scans, and full fallbacks over an 8-entry
+// registry.
+func BenchmarkRegistryPlan(b *testing.B) {
+	full, err := core.NewExact(16, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg, err := registry.New(full)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		sub, err := core.NewExact(16, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := reg.RegisterSubspace(words.MustColumnSet(16, i, i+1, i+2), sub); err != nil {
+			b.Fatal(err)
+		}
+	}
+	probes := []words.ColumnSet{
+		words.MustColumnSet(16, 3, 4, 5), // exact
+		words.MustColumnSet(16, 6, 7),    // covering
+		words.MustColumnSet(16, 12, 15),  // full fallback
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if t := reg.Plan(probes[i%len(probes)]); t.Summary == nil {
+			b.Fatal("nil plan target")
+		}
+	}
+}
 
 // BenchmarkExperimentQuick runs each experiment driver end-to-end in
 // quick mode — the "regenerate everything" cost.

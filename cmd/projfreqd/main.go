@@ -5,6 +5,13 @@
 // readers batch queries through /v1/query or export the merged
 // summary as a wire blob from /v1/summary.
 //
+// Before ingestion starts, clients may provision dedicated summaries
+// for hot projections through /v1/subspaces (register with POST, list
+// with GET); /v1/query then routes each query through the planner —
+// exact-match subspace, cheapest covering subspace, full fallback —
+// and reports the chosen route per result. See the "Querying
+// subspaces" cookbook in the README for curl examples.
+//
 // Usage:
 //
 //	projfreqd -addr :8080 -summary net -d 8 -q 8 -alpha 0.3 -seed 7
@@ -14,8 +21,11 @@
 // configuration the daemon was started with (for Net/Subset summaries
 // that includes the seed, so member sketches share hash functions);
 // pushes of incompatible summaries are refused with 409 and corrupt
-// blobs with 400. cmd/projfreq -push is the matching writer CLI, and
-// ARCHITECTURE.md documents the wire format and endpoint contracts.
+// blobs with 400 — and once subspaces are registered, only whole
+// registry blobs (what /v1/summary of an identically configured
+// daemon exports) are accepted. cmd/projfreq -push is the matching
+// writer CLI, and ARCHITECTURE.md documents the wire format and
+// endpoint contracts.
 package main
 
 import (
@@ -35,6 +45,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/registry"
 	"repro/internal/words"
 )
 
@@ -77,7 +88,7 @@ func run() error {
 	// not read duration, so stalled clients must not pin goroutines.
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(eng),
+		Handler:           newServer(eng, standardSubspaceBuilder(*kind, *d, *q, *eps, *delta, *alpha, *seed)),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       5 * time.Minute,
 		IdleTimeout:       2 * time.Minute,
@@ -126,21 +137,52 @@ func buildSummary(kind string, d, q int, eps, delta, alpha float64, seed uint64,
 	return engine.StandardSummary(kind, d, q, eps, delta, alpha, seed, shard)
 }
 
+// subspaceBuilder turns one /v1/subspaces registration request into
+// the per-shard factory the engine needs.
+type subspaceBuilder func(c words.ColumnSet, summary string) (engine.Factory, error)
+
+// standardSubspaceBuilder builds subspace factories against the
+// daemon's own configuration, so registered summaries always merge
+// with the catch-all shards and with identically configured peers:
+// "mirror" (the default) replicates the daemon's summary kind —
+// routed answers are bit-identical to full-summary answers — while
+// "registered" provisions the cheap per-subset KMV+KHLL sketch pair
+// (F0 only; other classes fall back to the catch-all).
+func standardSubspaceBuilder(kind string, d, q int, eps, delta, alpha float64, seed uint64) subspaceBuilder {
+	return func(c words.ColumnSet, summary string) (engine.Factory, error) {
+		switch summary {
+		case "", "mirror":
+			return func(shard int) (core.Summary, error) {
+				return buildSummary(kind, d, q, eps, delta, alpha, seed, shard)
+			}, nil
+		case "registered":
+			return func(shard int) (core.Summary, error) {
+				return core.NewRegistered(d, q, []words.ColumnSet{c}, core.RegisteredConfig{Epsilon: eps, Seed: seed})
+			}, nil
+		default:
+			return nil, fmt.Errorf("unknown subspace summary %q (want mirror or registered)", summary)
+		}
+	}
+}
+
 // server is the HTTP face of one sharded engine.
 type server struct {
-	eng     *engine.Sharded
-	mux     *http.ServeMux
-	maxBody int64
+	eng      *engine.Sharded
+	mux      *http.ServeMux
+	maxBody  int64
+	subBuild subspaceBuilder
 }
 
 // newServer wires the endpoint routes around the engine.
-func newServer(eng *engine.Sharded) *server {
-	s := &server{eng: eng, mux: http.NewServeMux(), maxBody: defaultMaxBody}
+func newServer(eng *engine.Sharded, subBuild subspaceBuilder) *server {
+	s := &server{eng: eng, mux: http.NewServeMux(), maxBody: defaultMaxBody, subBuild: subBuild}
 	s.mux.HandleFunc("POST /v1/observe", s.handleObserve)
 	s.mux.HandleFunc("POST /v1/push", s.handlePush)
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("GET /v1/summary", s.handleSummary)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/subspaces", s.handleSubspacesList)
+	s.mux.HandleFunc("POST /v1/subspaces", s.handleSubspacesRegister)
 	return s
 }
 
@@ -365,6 +407,74 @@ func (s *server) handleSummary(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(blob)
 }
 
+// subspaceJSON is one registered subspace in the /v1/subspaces
+// listing.
+type subspaceJSON struct {
+	Cols      []int  `json:"cols"`
+	Summary   string `json:"summary"`
+	SizeBytes int    `json:"size_bytes"`
+}
+
+// subspacesResponse is the GET /v1/subspaces body; Subspaces is in
+// registration (planner-priority) order.
+type subspacesResponse struct {
+	Subspaces []subspaceJSON `json:"subspaces"`
+}
+
+// registerSubspaceRequest is the POST /v1/subspaces body. Summary
+// selects the provisioned kind: "mirror" (default — replicate the
+// daemon's summary kind; routed answers bit-identical to the
+// catch-all's) or "registered" (cheap per-subset F0/KHLL sketches;
+// other query classes fall back to the catch-all).
+type registerSubspaceRequest struct {
+	Cols    []int  `json:"cols"`
+	Summary string `json:"summary,omitempty"`
+}
+
+func (s *server) handleSubspacesList(w http.ResponseWriter, r *http.Request) {
+	// Subspaces() quiesces the workers for consistent sizes — the same
+	// per-poll cost /v1/stats pays for its SizeBytes; count-only
+	// consumers should read the stats endpoint's cheap subspace count.
+	resp := subspacesResponse{Subspaces: []subspaceJSON{}}
+	for _, info := range s.eng.Subspaces() {
+		resp.Subspaces = append(resp.Subspaces, subspaceJSON{
+			Cols:      info.Cols.Columns(),
+			Summary:   info.Name,
+			SizeBytes: info.SizeBytes,
+		})
+	}
+	writeJSON(w, resp)
+}
+
+func (s *server) handleSubspacesRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerSubspaceRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		bodyError(w, fmt.Errorf("decoding subspace registration: %w", err))
+		return
+	}
+	c, err := words.NewColumnSet(s.eng.Dim(), req.Cols...)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	factory, err := s.subBuild(c, req.Summary)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.eng.RegisterSubspace(c, factory); err != nil {
+		// Late or repeated registrations conflict with existing state;
+		// everything else is a bad request.
+		status := http.StatusBadRequest
+		if errors.Is(err, engine.ErrRowsAccepted) || errors.Is(err, registry.ErrDuplicateSubspace) {
+			status = http.StatusConflict
+		}
+		httpError(w, status, err)
+		return
+	}
+	s.handleSubspacesList(w, r)
+}
+
 // queryRequest is the /v1/query body: a batch answered against one
 // consistent merged snapshot.
 type queryRequest struct {
@@ -393,11 +503,14 @@ type hitJSON struct {
 
 // resultJSON is the answer to one query. Value is always emitted — a
 // legitimate answer of 0 must stay distinguishable from no answer.
+// Route reports the planner's decision: "full", "subspace{…}", or
+// "cover{…}".
 type resultJSON struct {
 	Value       float64   `json:"value"`
 	Hits        []hitJSON `json:"hits,omitempty"`
 	Error       string    `json:"error,omitempty"`
 	Unsupported bool      `json:"unsupported,omitempty"`
+	Route       string    `json:"route,omitempty"`
 	Cached      bool      `json:"cached,omitempty"`
 }
 
@@ -444,7 +557,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	results := s.eng.QueryBatch(batch)
 	resp := queryResponse{Results: make([]resultJSON, len(results))}
 	for i, res := range results {
-		out := resultJSON{Value: res.Value, Cached: res.Cached}
+		out := resultJSON{Value: res.Value, Route: res.Route, Cached: res.Cached}
 		if res.Err != nil {
 			out.Error = res.Err.Error()
 			out.Unsupported = errors.Is(res.Err, core.ErrUnsupported)
@@ -464,6 +577,7 @@ type statsResponse struct {
 	Alphabet  int    `json:"alphabet"`
 	Rows      int64  `json:"rows"`
 	Shards    int    `json:"shards"`
+	Subspaces int    `json:"subspaces"`
 	SizeBytes int    `json:"size_bytes"`
 	Wire      int    `json:"wire_version"`
 }
@@ -475,6 +589,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Alphabet:  s.eng.Alphabet(),
 		Rows:      s.eng.Rows(),
 		Shards:    s.eng.NumShards(),
+		Subspaces: s.eng.NumSubspaces(),
 		SizeBytes: s.eng.SizeBytes(),
 		Wire:      core.WireVersion,
 	})

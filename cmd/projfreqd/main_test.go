@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/registry"
 	"repro/internal/words"
 )
 
@@ -25,7 +26,7 @@ func startDaemon(t *testing.T, kind string, d, q int, seed uint64) (*httptest.Se
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newServer(eng))
+	ts := httptest.NewServer(newServer(eng, standardSubspaceBuilder(kind, d, q, 0.25, 0.05, 0.3, seed)))
 	t.Cleanup(func() {
 		ts.Close()
 		eng.Close()
@@ -276,7 +277,7 @@ func TestDaemonOversizedBodyReturns413(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := newServer(eng)
+	srv := newServer(eng, standardSubspaceBuilder("exact", d, q, 0.25, 0.05, 0.3, seed))
 	srv.maxBody = 64
 	ts := httptest.NewServer(srv)
 	t.Cleanup(func() {
@@ -386,5 +387,167 @@ func TestAbsorbKeepsEngineConsistent(t *testing.T) {
 	}
 	if eng.Rows() != 41 {
 		t.Fatalf("failed absorb advanced the row clock to %d", eng.Rows())
+	}
+}
+
+// TestDaemonSubspaceLifecycle drives the /v1/subspaces endpoints:
+// register (mirror + registered kinds), list, planner-routed queries
+// with the route reported in-band, and the conflict statuses for late
+// or duplicate registrations.
+func TestDaemonSubspaceLifecycle(t *testing.T) {
+	const d, q, seed = 6, 3, 11
+	ts, eng := startDaemon(t, "exact", d, q, seed)
+
+	// Register one mirror and one sketch-backed subspace.
+	if resp, body := postJSON(t, ts.URL+"/v1/subspaces", registerSubspaceRequest{Cols: []int{0, 1}}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("register mirror: %d %s", resp.StatusCode, body)
+	}
+	if resp, body := postJSON(t, ts.URL+"/v1/subspaces", registerSubspaceRequest{Cols: []int{2, 3, 4}, Summary: "registered"}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("register sketch: %d %s", resp.StatusCode, body)
+	}
+	// Duplicates conflict; bad columns and unknown kinds are bad requests.
+	if resp, _ := postJSON(t, ts.URL+"/v1/subspaces", registerSubspaceRequest{Cols: []int{1, 0}}); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate subspace: %d", resp.StatusCode)
+	}
+	if resp, _ := postJSON(t, ts.URL+"/v1/subspaces", registerSubspaceRequest{Cols: []int{99}}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad columns: %d", resp.StatusCode)
+	}
+	if resp, _ := postJSON(t, ts.URL+"/v1/subspaces", registerSubspaceRequest{Cols: []int{5}, Summary: "bogus"}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown summary kind: %d", resp.StatusCode)
+	}
+
+	// The listing shows both, in registration order.
+	resp, err := http.Get(ts.URL + "/v1/subspaces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list subspacesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list.Subspaces) != 2 || list.Subspaces[0].Summary != "exact" || list.Subspaces[1].Summary != "registered(1 subsets)" {
+		t.Fatalf("listing %+v", list.Subspaces)
+	}
+
+	// Ingest rows; stats count the subspaces.
+	var rows [][]uint16
+	for i := 0; i < 300; i++ {
+		row := make([]uint16, d)
+		for j := range row {
+			row[j] = uint16((i*(j+2) + 1) % q)
+		}
+		rows = append(rows, row)
+	}
+	if resp, body := postJSON(t, ts.URL+"/v1/observe", observeRequest{Rows: rows}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("observe: %d %s", resp.StatusCode, body)
+	}
+	var stats statsResponse
+	respS, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(respS.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	respS.Body.Close()
+	if stats.Subspaces != 2 || stats.Rows != 300 {
+		t.Fatalf("stats %+v", stats)
+	}
+
+	// Registration after ingestion conflicts.
+	if resp, _ := postJSON(t, ts.URL+"/v1/subspaces", registerSubspaceRequest{Cols: []int{5}}); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("late registration: %d", resp.StatusCode)
+	}
+
+	// Queries report their route: mirror exact-match, covering via the
+	// sketch subspace's F0, full fallback for uncovered sets and for
+	// classes the sketch cannot serve.
+	respQ, body := postJSON(t, ts.URL+"/v1/query", queryRequest{Queries: []querySpec{
+		{Kind: "f0", Cols: []int{0, 1}},
+		{Kind: "f0", Cols: []int{2, 3, 4}},
+		{Kind: "f0", Cols: []int{5}},
+		{Kind: "freq", Cols: []int{2, 3, 4}, Pattern: []uint16{1, 1, 1}},
+	}})
+	if respQ.StatusCode != http.StatusOK {
+		t.Fatalf("query: %d %s", respQ.StatusCode, body)
+	}
+	var qresp queryResponse
+	if err := json.Unmarshal(body, &qresp); err != nil {
+		t.Fatal(err)
+	}
+	wantRoutes := []string{"subspace{0,1}/6", "subspace{2,3,4}/6", "full", "full"}
+	for i, want := range wantRoutes {
+		if qresp.Results[i].Error != "" {
+			t.Fatalf("query %d: %s", i, qresp.Results[i].Error)
+		}
+		if qresp.Results[i].Route != want {
+			t.Fatalf("query %d routed %q, want %q", i, qresp.Results[i].Route, want)
+		}
+	}
+	// The mirror's answer matches the catch-all exactly.
+	truth, err := eng.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantF0, err := truth.(*registry.Registry).Full().(core.F0Querier).F0(words.MustColumnSet(d, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantF0 == 0 || qresp.Results[0].Value != wantF0 {
+		t.Fatalf("mirror-routed F0 %v != catch-all %v", qresp.Results[0].Value, wantF0)
+	}
+	// The sketch-backed subspace answers within its (1±ε) bound.
+	sketchTruth, err := truth.(*registry.Registry).Full().(core.F0Querier).F0(words.MustColumnSet(d, 2, 3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sketchTruth == 0 || qresp.Results[1].Value < 0.7*sketchTruth || qresp.Results[1].Value > 1.3*sketchTruth {
+		t.Fatalf("sketch-routed F0 %v outside bounds of exact %v", qresp.Results[1].Value, sketchTruth)
+	}
+
+	// The exported blob is a whole registry that an identically
+	// configured daemon absorbs; bare pushes now conflict.
+	respB, err := http.Get(ts.URL + "/v1/summary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := io.ReadAll(respB.Body)
+	respB.Body.Close()
+	dec, err := core.UnmarshalSummary(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg, ok := dec.(*registry.Registry); !ok || reg.NumSubspaces() != 2 {
+		t.Fatalf("exported %T", dec)
+	}
+	ts2, eng2 := startDaemon(t, "exact", d, q, seed)
+	if resp, body := postJSON(t, ts2.URL+"/v1/subspaces", registerSubspaceRequest{Cols: []int{0, 1}}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("peer register: %d %s", resp.StatusCode, body)
+	}
+	if resp, body := postJSON(t, ts2.URL+"/v1/subspaces", registerSubspaceRequest{Cols: []int{2, 3, 4}, Summary: "registered"}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("peer register: %d %s", resp.StatusCode, body)
+	}
+	respP, err := http.Post(ts2.URL+"/v1/push", "application/octet-stream", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushBody, _ := io.ReadAll(respP.Body)
+	respP.Body.Close()
+	if respP.StatusCode != http.StatusOK {
+		t.Fatalf("registry push: %d %s", respP.StatusCode, pushBody)
+	}
+	if eng2.Rows() != 300 {
+		t.Fatalf("peer rows %d", eng2.Rows())
+	}
+	bare, _ := remoteWriter(t, "exact", d, q, 10, seed, 1)
+	respBare, err := http.Post(ts2.URL+"/v1/push", "application/octet-stream", bytes.NewReader(bare))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, respBare.Body)
+	respBare.Body.Close()
+	if respBare.StatusCode != http.StatusConflict {
+		t.Fatalf("bare push into subspaced daemon: %d", respBare.StatusCode)
 	}
 }

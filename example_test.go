@@ -65,6 +65,48 @@ func ExampleNewNetSummary() {
 	// distinct patterns on {0,1}: 4
 }
 
+// Example_registry shows the subspace registry and query planner: a
+// cheap dedicated sketch serves a hot projection registered before
+// the data arrives, while the catch-all summary serves the long tail
+// of post-hoc queries — the two pricing regimes the paper contrasts,
+// composed behind one front door.
+func Example_registry() {
+	const d, q = 6, 3
+	full, _ := projfreq.NewExactSummary(d, q)
+	reg, _ := projfreq.NewRegistry(full)
+
+	// The product team knows {0,1} is hot, so it gets a dedicated
+	// (1±ε) sketch pair — registered before observation, like every
+	// subspace.
+	hot, _ := projfreq.NewColumnSet(d, 0, 1)
+	sketch, _ := projfreq.NewRegisteredSummary(d, q, []projfreq.ColumnSet{hot}, projfreq.RegisteredConfig{Seed: 1})
+	if err := reg.RegisterSubspace(hot, sketch); err != nil {
+		panic(err)
+	}
+
+	// Stream rows into the registry: every member sees every row.
+	r := projfreq.NewRand(7)
+	row := make(projfreq.Word, d)
+	for i := 0; i < 5000; i++ {
+		for j := range row {
+			row[j] = uint16(r.Intn(q))
+		}
+		reg.Observe(row)
+	}
+
+	// Queries route automatically: the hot set to its sketch, any
+	// other projection (chosen after the data went by) to the
+	// catch-all.
+	hotF0, _ := reg.F0(hot)
+	cold, _ := projfreq.NewColumnSet(d, 2, 3)
+	coldF0, _ := reg.F0(cold)
+	fmt.Printf("plan(hot) = %s, plan(cold) = %s\n", reg.Plan(hot).Match, reg.Plan(cold).Match)
+	fmt.Printf("F0(hot) = %.0f (sketched), F0(cold) = %.0f (exact)\n", hotF0, coldF0)
+	// Output:
+	// plan(hot) = exact, plan(cold) = full
+	// F0(hot) = 9 (sketched), F0(cold) = 9 (exact)
+}
+
 // Example_serialization shows the wire format behind cmd/projfreqd:
 // summaries serialize to self-describing binary blobs that another
 // process can decode, merge, and query — the answers match a single

@@ -88,8 +88,79 @@ func (k SummaryKind) String() string {
 	case KindRegistered:
 		return "registered"
 	default:
+		if ext, ok := extKinds[k]; ok {
+			return ext.name
+		}
 		return fmt.Sprintf("SummaryKind(%d)", uint8(k))
 	}
+}
+
+// Envelope is the parsed wire header handed to externally registered
+// kind decoders (RegisterWireKind). It mirrors the envelope layout
+// documented above; Payload aliases the input blob and must not be
+// retained past the decode call.
+type Envelope struct {
+	// Kind is the envelope's summary kind byte.
+	Kind SummaryKind
+	// Dim and Alphabet are the shape (d, Q), already validated like
+	// constructor parameters.
+	Dim, Alphabet int
+	// Seed is the construction seed field (zero when the kind carries
+	// its randomness inside the payload).
+	Seed uint64
+	// Rows is the observed row count n, already validated ≥ 0.
+	Rows int64
+	// Payload is the kind-specific payload after the 36-byte header.
+	Payload []byte
+}
+
+// extKinds maps wire kinds beyond the built-in five to decoders
+// contributed by other packages (internal/registry's container kind).
+// It is written only during package initialization — RegisterWireKind
+// documents the init-time contract — so lock-free reads are safe.
+var extKinds = map[SummaryKind]struct {
+	name string
+	dec  func(Envelope) (Summary, error)
+}{}
+
+// RegisterWireKind installs a decoder for a summary kind beyond the
+// built-in five, extending parseEnvelope's kind validation and
+// UnmarshalSummary's dispatch without this package importing the
+// kind's implementation. The kind must be greater than KindRegistered
+// and not yet taken; violations panic, since registration happens from
+// package init functions (the only supported call site — the map is
+// read without locks afterwards). Encode with AppendEnvelope.
+func RegisterWireKind(kind SummaryKind, name string, dec func(Envelope) (Summary, error)) {
+	if kind <= KindRegistered {
+		panic(fmt.Sprintf("core: wire kind %d collides with a built-in summary kind", uint8(kind)))
+	}
+	if dec == nil || name == "" {
+		panic("core: RegisterWireKind requires a name and a decoder")
+	}
+	if _, dup := extKinds[kind]; dup {
+		panic(fmt.Sprintf("core: wire kind %d registered twice", uint8(kind)))
+	}
+	extKinds[kind] = struct {
+		name string
+		dec  func(Envelope) (Summary, error)
+	}{name, dec}
+}
+
+// AppendEnvelope wraps a kind-specific payload in the standard 36-byte
+// wire envelope — the encode-side counterpart of RegisterWireKind. The
+// kind must be built-in or registered, and the shape must pass the
+// same validation decoding applies, so every blob this emits parses.
+func AppendEnvelope(kind SummaryKind, d, q int, seed uint64, rows int64, payload []byte) ([]byte, error) {
+	if _, ok := extKinds[kind]; !ok && (kind < KindExact || kind > KindRegistered) {
+		return nil, fmt.Errorf("core: cannot envelope unregistered summary kind %d", uint8(kind))
+	}
+	if err := validateShape(kind.String(), d, q); err != nil {
+		return nil, err
+	}
+	if rows < 0 {
+		return nil, fmt.Errorf("core: negative row count %d", rows)
+	}
+	return appendEnvelope(kind, d, q, seed, rows, payload)
 }
 
 // maxDecodeDim caps the dimension a decoder will accept; legitimate
@@ -147,7 +218,9 @@ func parseEnvelope(data []byte) (envelope, error) {
 	}
 	kind := SummaryKind(data[5])
 	if kind < KindExact || kind > KindRegistered {
-		return envelope{}, badEncoding("unknown summary kind %d", uint8(kind))
+		if _, ok := extKinds[kind]; !ok {
+			return envelope{}, badEncoding("unknown summary kind %d", uint8(kind))
+		}
 	}
 	if data[6] != 0 || data[7] != 0 {
 		return envelope{}, badEncoding("non-zero reserved envelope bytes")
@@ -207,8 +280,15 @@ func UnmarshalSummary(data []byte) (Summary, error) {
 		return decodeNet(env)
 	case KindSubset:
 		return decodeSubset(env)
-	default:
+	case KindRegistered:
 		return decodeRegistered(env)
+	default:
+		// parseEnvelope only admits kinds beyond the built-in five when
+		// a decoder was registered for them.
+		return extKinds[env.kind].dec(Envelope{
+			Kind: env.kind, Dim: env.d, Alphabet: env.q,
+			Seed: env.seed, Rows: env.rows, Payload: env.payload,
+		})
 	}
 }
 

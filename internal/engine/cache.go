@@ -45,14 +45,17 @@ func (c *queryCache) clear() uint64 {
 // get returns the cached result for key, provided the cache still
 // holds entries of snapshot generation gen; a caller working against
 // a superseded snapshot misses, keeping its batch internally
-// consistent with the snapshot it actually queried.
-func (c *queryCache) get(key string, gen uint64) (Result, bool) {
+// consistent with the snapshot it actually queried. The key arrives
+// as bytes — the map index converts it without allocating, so cache
+// hits stay allocation-free end to end (put, which must retain the
+// key, takes the string the caller built for miss bookkeeping).
+func (c *queryCache) get(key []byte, gen uint64) (Result, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.gen != gen {
 		return Result{}, false
 	}
-	r, ok := c.m[key]
+	r, ok := c.m[string(key)]
 	return r, ok
 }
 

@@ -5,23 +5,46 @@
 // stream, ingestion can fan out across cores and queries can be served
 // from an on-demand merged snapshot.
 //
+// # Ingestion
+//
 // The Sharded engine runs one worker goroutine per shard, each owning
 // a private summary fed through a buffered channel; Observe is safe
-// for concurrent callers and never touches a summary directly. Queries
-// quiesce the workers with a channel barrier, merge the shard
+// for concurrent callers and never touches a summary directly, and
+// ObserveBatch routes whole chunks of rows per channel send through
+// the summaries' amortized batch paths (core.BatchObserver).
+//
+// # Queries
+//
+// Queries quiesce the workers with a channel barrier, merge the shard
 // summaries into a fresh snapshot (rebuilt only when new rows have
 // arrived since the last one), and answer through the snapshot — many
-// queries at a time via QueryBatch, with a generation-checked result
-// cache in front.
+// queries at a time via QueryBatch, which evaluates cache misses on a
+// bounded worker pool (Config.QueryWorkers) behind a
+// generation-checked result cache.
+//
+// # Subspaces
+//
+// Every shard summary is held inside a registry.Registry, so the
+// engine can serve hot projections from dedicated per-columnset
+// summaries: RegisterSubspace provisions one subspace summary per
+// shard (before ingestion starts), and QueryBatch then plans each
+// query — exact-match subspace first, cheapest covering subspace
+// next, catch-all full summary otherwise — evaluating each group
+// against its planned target and falling back to the full summary
+// when a specialized one cannot answer the query's class. Results are
+// cached per (target, query), and snapshots (being merged registries)
+// serialize whole-registry blobs that Absorb accepts back.
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/registry"
 	"repro/internal/words"
 )
 
@@ -45,6 +68,9 @@ type Config struct {
 	// BatchChunk caps the rows per shard chunk that ObserveBatch
 	// routes in one channel send (default 256).
 	BatchChunk int
+	// QueryWorkers bounds the worker pool QueryBatch evaluates cache
+	// misses on (default runtime.GOMAXPROCS(0)).
+	QueryWorkers int
 }
 
 func (c Config) withDefaults() Config {
@@ -60,6 +86,9 @@ func (c Config) withDefaults() Config {
 	if c.BatchChunk <= 0 {
 		c.BatchChunk = 256
 	}
+	if c.QueryWorkers <= 0 {
+		c.QueryWorkers = runtime.GOMAXPROCS(0)
+	}
 	return c
 }
 
@@ -73,15 +102,26 @@ type shardMsg struct {
 	resume <-chan struct{}
 }
 
+// subspaceSpec records one engine-level subspace registration, so
+// merge snapshots can be rebuilt with the same registry structure as
+// the shards.
+type subspaceSpec struct {
+	cols    words.ColumnSet
+	factory Factory
+}
+
 // Sharded is the engine: N shard summaries ingesting in parallel, one
-// merged snapshot serving queries. It implements core.Summary, so a
-// sharded engine drops in anywhere a summary does; its query methods
-// forward to the snapshot and return core.ErrUnsupported when the
-// underlying summary kind cannot answer the class.
+// merged snapshot serving queries. Each shard summary lives inside a
+// registry.Registry, so subspace summaries registered through
+// RegisterSubspace ingest alongside the catch-all and the query
+// planner can route to them. It implements core.Summary, so a sharded
+// engine drops in anywhere a summary does; its query methods forward
+// to the snapshot and return core.ErrUnsupported when the underlying
+// summary kind cannot answer the class.
 type Sharded struct {
 	cfg     Config
 	factory Factory
-	shards  []core.Summary
+	shards  []*registry.Registry
 	chans   []chan shardMsg
 	workers sync.WaitGroup
 
@@ -90,36 +130,54 @@ type Sharded struct {
 	closed   atomic.Bool
 
 	mu       sync.Mutex // serializes quiesce + snapshot rebuild
-	snap     core.Summary
+	subs     []subspaceSpec
+	absorbs  int // successful Absorb calls; guards late registration
+	snap     *registry.Registry
 	snapRows int64
 	cache    *queryCache
 }
 
 // NewSharded builds the engine and starts its shard workers. The
 // factory is probed immediately: every shard summary must be mergeable
-// and share the same shape.
+// and share the same shape. A factory may return a ready-made
+// *registry.Registry per shard (with the same subspace structure on
+// every shard); a bare summary is wrapped in a subspace-free registry.
 func NewSharded(factory Factory, cfg Config) (*Sharded, error) {
 	cfg = cfg.withDefaults()
 	s := &Sharded{
 		cfg:     cfg,
 		factory: factory,
-		shards:  make([]core.Summary, cfg.Shards),
+		shards:  make([]*registry.Registry, cfg.Shards),
 		chans:   make([]chan shardMsg, cfg.Shards),
 		cache:   newQueryCache(cfg.CacheSize),
 	}
 	for i := range s.shards {
-		sum, err := factory(i)
+		reg, err := s.buildShard(i)
 		if err != nil {
-			return nil, fmt.Errorf("engine: shard %d factory: %w", i, err)
+			return nil, err
 		}
-		if _, ok := sum.(core.Mergeable); !ok {
-			return nil, fmt.Errorf("engine: %s summary is not mergeable", sum.Name())
-		}
-		if i > 0 && (sum.Dim() != s.shards[0].Dim() || sum.Alphabet() != s.shards[0].Alphabet()) {
+		if i > 0 && (reg.Dim() != s.shards[0].Dim() || reg.Alphabet() != s.shards[0].Alphabet()) {
 			return nil, fmt.Errorf("engine: shard %d shape %d/[%d] differs from shard 0 %d/[%d]",
-				i, sum.Dim(), sum.Alphabet(), s.shards[0].Dim(), s.shards[0].Alphabet())
+				i, reg.Dim(), reg.Alphabet(), s.shards[0].Dim(), s.shards[0].Alphabet())
 		}
-		s.shards[i] = sum
+		// Factory-provided registries must agree on subspace structure
+		// across shards, like they must on shape: RegisterSubspace's
+		// all-or-nothing pass and Subspaces' trailing-entry indexing
+		// both rely on every shard holding the same entry list.
+		if i > 0 {
+			if reg.NumSubspaces() != s.shards[0].NumSubspaces() {
+				return nil, fmt.Errorf("engine: shard %d registry holds %d subspaces, shard 0 holds %d",
+					i, reg.NumSubspaces(), s.shards[0].NumSubspaces())
+			}
+			for j := 0; j < reg.NumSubspaces(); j++ {
+				c0, _ := s.shards[0].Subspace(j)
+				cj, _ := reg.Subspace(j)
+				if !c0.Equal(cj) {
+					return nil, fmt.Errorf("engine: shard %d subspace %d is %v, shard 0 has %v", i, j, cj, c0)
+				}
+			}
+		}
+		s.shards[i] = reg
 		s.chans[i] = make(chan shardMsg, cfg.Queue)
 	}
 	s.workers.Add(cfg.Shards)
@@ -129,25 +187,64 @@ func NewSharded(factory Factory, cfg Config) (*Sharded, error) {
 	return s, nil
 }
 
+// buildShard constructs the registry for one shard (or merge
+// snapshot) index: the factory's base summary — wrapped in a registry
+// unless it already is one — plus one summary per registered
+// subspace. Every member must be mergeable, or snapshots could not be
+// built.
+func (s *Sharded) buildShard(idx int) (*registry.Registry, error) {
+	base, err := s.factory(idx)
+	if err != nil {
+		return nil, fmt.Errorf("engine: shard %d factory: %w", idx, err)
+	}
+	reg, ok := base.(*registry.Registry)
+	if !ok {
+		if _, ok := base.(core.Mergeable); !ok {
+			return nil, fmt.Errorf("engine: %s summary is not mergeable", base.Name())
+		}
+		if reg, err = registry.New(base); err != nil {
+			return nil, fmt.Errorf("engine: shard %d: %w", idx, err)
+		}
+	} else {
+		// Probe every member of a factory-provided registry now, so a
+		// non-mergeable subspace summary fails construction instead of
+		// the first snapshot (NewSharded's "probed immediately" rule).
+		if _, ok := reg.Full().(core.Mergeable); !ok {
+			return nil, fmt.Errorf("engine: %s summary is not mergeable", reg.Full().Name())
+		}
+		for i := 0; i < reg.NumSubspaces(); i++ {
+			cols, sum := reg.Subspace(i)
+			if _, ok := sum.(core.Mergeable); !ok {
+				return nil, fmt.Errorf("engine: subspace %v %s summary is not mergeable", cols, sum.Name())
+			}
+		}
+	}
+	for _, sp := range s.subs {
+		sub, err := sp.factory(idx)
+		if err != nil {
+			return nil, fmt.Errorf("engine: subspace %v factory: %w", sp.cols, err)
+		}
+		if _, ok := sub.(core.Mergeable); !ok {
+			return nil, fmt.Errorf("engine: subspace %v %s summary is not mergeable", sp.cols, sub.Name())
+		}
+		if err := reg.RegisterSubspace(sp.cols, sub); err != nil {
+			return nil, fmt.Errorf("engine: shard %d: %w", idx, err)
+		}
+	}
+	return reg, nil
+}
+
 func (s *Sharded) worker(i int) {
 	defer s.workers.Done()
 	sum := s.shards[i]
 	d := sum.Dim()
-	batcher, _ := sum.(core.BatchObserver)
 	for m := range s.chans[i] {
 		switch {
 		case m.ack != nil:
 			m.ack <- struct{}{}
 			<-m.resume
 		case m.rows != nil:
-			chunk := words.BatchOf(d, m.rows)
-			if batcher != nil {
-				batcher.ObserveBatch(chunk)
-			} else {
-				for r, n := 0, chunk.Len(); r < n; r++ {
-					sum.Observe(chunk.Row(r))
-				}
-			}
+			sum.ObserveBatch(words.BatchOf(d, m.rows))
 		default:
 			sum.Observe(m.row)
 		}
@@ -242,7 +339,7 @@ func (s *Sharded) Snapshot() (core.Summary, error) {
 	return snap, err
 }
 
-func (s *Sharded) snapshotGen() (core.Summary, uint64, error) {
+func (s *Sharded) snapshotGen() (*registry.Registry, uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.snap != nil && s.snapRows == s.enqueued.Load() {
@@ -259,17 +356,16 @@ func (s *Sharded) snapshotGen() (core.Summary, uint64, error) {
 	// rows instead would let a sent-but-uncounted row masquerade as a
 	// later accepted one and serve a snapshot missing it.
 	accepted := s.enqueued.Load()
-	merged, err := s.factory(len(s.shards))
+	merged, err := s.buildShard(len(s.shards))
 	if err != nil {
 		return nil, 0, fmt.Errorf("engine: snapshot factory: %w", err)
 	}
-	acc, ok := merged.(core.Mergeable)
-	if !ok {
-		return nil, 0, fmt.Errorf("engine: %s snapshot is not mergeable", merged.Name())
-	}
 	err = s.quiesce(func() error {
 		for i, sh := range s.shards {
-			if err := acc.Merge(sh); err != nil {
+			// Trusted path: the snapshot and the shards came from the
+			// same factories, so the clone-validating Merge would only
+			// tax every rebuild with a wire round trip per shard.
+			if err := merged.MergeTrusted(sh); err != nil {
 				return fmt.Errorf("engine: merging shard %d: %w", i, err)
 			}
 		}
@@ -294,6 +390,12 @@ func (s *Sharded) Flush() (core.Summary, error) { return s.Snapshot() }
 // The donor must be mergeable into the engine's summary kind (same
 // shape and configuration) and is left intact; on error the engine is
 // unchanged. Shards are chosen round-robin with the row router.
+//
+// An engine with registered subspaces only absorbs whole registries
+// (the blobs its own snapshots export) whose subspace structure
+// matches; bare summary pushes are refused with ErrIncompatibleMerge,
+// since folding them into the catch-all alone would leave the
+// subspace summaries behind the stream.
 func (s *Sharded) Absorb(sum core.Summary) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -305,11 +407,15 @@ func (s *Sharded) Absorb(sum core.Summary) error {
 		target = s.chans[i : i+1]
 	}
 	err := s.quiesceChans(target, func() error {
-		return s.shards[i].(core.Mergeable).Merge(sum)
+		return s.shards[i].Merge(sum)
 	})
 	if err != nil {
 		return fmt.Errorf("engine: absorbing into shard %d: %w", i, err)
 	}
+	// Count the absorb itself, not just the donor's rows: a blob may
+	// carry sketch state while claiming zero rows, and subspace
+	// registration must treat any absorbed state as ingestion started.
+	s.absorbs++
 	s.enqueued.Add(sum.Rows())
 	// Drop any existing snapshot outright rather than trusting the
 	// donor's self-reported row count to advance the staleness clock:
@@ -319,10 +425,145 @@ func (s *Sharded) Absorb(sum core.Summary) error {
 	return nil
 }
 
+// ErrRowsAccepted reports a RegisterSubspace call after the engine
+// accepted rows; subspaces must be registered before ingestion so
+// that every summary in the registry digests the identical stream.
+var ErrRowsAccepted = errors.New("engine: rows already accepted; register subspaces before ingestion")
+
+// RegisterSubspace provisions a dedicated summary for the column set
+// c on every shard (and on all future merge snapshots): sub is called
+// like the engine's own factory, with shard indices 0..Shards-1 and
+// with index Shards per snapshot, and every summary it returns must
+// be mergeable and share the engine's shape. After registration the
+// query planner routes queries whose column set equals (or is covered
+// by) c to the subspace summary; see Plan in internal/registry for
+// the decision order.
+//
+// Registration must happen before ingestion: once the engine has
+// accepted rows (Observe, ObserveBatch, or Absorb), RegisterSubspace
+// fails with ErrRowsAccepted. Registering the same column set twice
+// fails with registry.ErrDuplicateSubspace.
+func (s *Sharded) RegisterSubspace(c words.ColumnSet, sub Factory) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n := s.enqueued.Load(); n != 0 {
+		return fmt.Errorf("%w (%d rows accepted)", ErrRowsAccepted, n)
+	}
+	// The row clock alone cannot gate this: a donor blob may carry
+	// sketch state while claiming zero rows (see Absorb), which the
+	// clock never sees. Any completed absorb means shard state exists
+	// that a new subspace summary would not share.
+	if s.absorbs != 0 {
+		return fmt.Errorf("%w (%d summaries absorbed)", ErrRowsAccepted, s.absorbs)
+	}
+	built := make([]core.Summary, len(s.shards))
+	for i := range built {
+		sum, err := sub(i)
+		if err != nil {
+			return fmt.Errorf("engine: subspace %v factory: %w", c, err)
+		}
+		if _, ok := sum.(core.Mergeable); !ok {
+			return fmt.Errorf("engine: subspace %v %s summary is not mergeable", c, sum.Name())
+		}
+		// Validate shape (and freshness) for every shard's summary up
+		// front, so the all-or-nothing registration pass below cannot
+		// fail on one shard after mutating another.
+		if sum.Dim() != s.Dim() || sum.Alphabet() != s.Alphabet() {
+			return fmt.Errorf("engine: subspace %v shard %d summary shape %d/[%d] differs from engine %d/[%d]",
+				c, i, sum.Dim(), sum.Alphabet(), s.Dim(), s.Alphabet())
+		}
+		if sum.Rows() != 0 {
+			return fmt.Errorf("engine: subspace %v shard %d summary already holds %d rows", c, i, sum.Rows())
+		}
+		built[i] = sum
+	}
+	// Registration must be all-or-nothing across shards. The row-clock
+	// check above is only a fast path: Observe counts a row after the
+	// channel send, so a racing row can be in flight past it — and the
+	// quiesce barrier drains exactly such rows into their shards. So
+	// the real check runs inside the barrier, where shard state is
+	// stable: first verify every shard can register (no rows, no
+	// duplicate), then mutate. The checks are uniform across shards
+	// apart from row counts, which pass 1 covers, so pass 2 cannot
+	// fail partway.
+	err := s.quiesce(func() error {
+		for i, reg := range s.shards {
+			if n := reg.Rows(); n != 0 {
+				return fmt.Errorf("%w (shard %d holds %d rows)", ErrRowsAccepted, i, n)
+			}
+		}
+		for i, reg := range s.shards {
+			if err := reg.RegisterSubspace(c, built[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("engine: registering subspace: %w", err)
+	}
+	s.subs = append(s.subs, subspaceSpec{cols: c, factory: sub})
+	// The next snapshot must carry the new registry structure.
+	s.snap = nil
+	return nil
+}
+
+// SubspaceInfo describes one registered subspace of the engine.
+type SubspaceInfo struct {
+	// Cols is the registered column set.
+	Cols words.ColumnSet
+	// Name is the subspace summary's kind name.
+	Name string
+	// SizeBytes totals the subspace's space across all shards.
+	SizeBytes int
+}
+
+// NumSubspaces returns the number of subspaces registered through
+// RegisterSubspace, without quiescing the workers — the cheap form
+// for stats endpoints that only need the count. Subspaces baked into
+// factory-provided registries are not counted (nor listed by
+// Subspaces).
+func (s *Sharded) NumSubspaces() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.subs)
+}
+
+// Subspaces lists the subspaces registered through RegisterSubspace
+// in registration order. The walk quiesces the workers so sizes do
+// not race ingestion. Subspaces a factory baked into its own
+// registries are not listed: the engine tracks only its own
+// registrations (which occupy the trailing registry entries, after
+// any factory-provided ones).
+func (s *Sharded) Subspaces() []SubspaceInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	infos := make([]SubspaceInfo, len(s.subs))
+	if len(infos) == 0 {
+		return infos
+	}
+	// buildShard appends engine registrations after whatever the
+	// factory pre-registered, identically on every shard.
+	off := s.shards[0].NumSubspaces() - len(s.subs)
+	_ = s.quiesce(func() error {
+		for i, sp := range s.subs {
+			_, first := s.shards[0].Subspace(off + i)
+			infos[i] = SubspaceInfo{Cols: sp.cols, Name: first.Name()}
+			for _, reg := range s.shards {
+				_, sum := reg.Subspace(off + i)
+				infos[i].SizeBytes += sum.SizeBytes()
+			}
+		}
+		return nil
+	})
+	return infos
+}
+
 // MarshalBinary implements encoding.BinaryMarshaler by serializing the
 // merged snapshot: the wire form of a sharded engine is the wire form
-// of the single summary equal to everything it has ingested. The
-// engine itself is not reconstructible from the blob — decode it with
+// of the single summary equal to everything it has ingested (a whole
+// registry blob when subspaces are registered). The engine itself is
+// not reconstructible from the blob — decode it with
 // core.UnmarshalSummary and, if sharded serving is needed again,
 // Absorb it into a fresh engine.
 func (s *Sharded) MarshalBinary() ([]byte, error) {

@@ -213,10 +213,10 @@ func TestCacheEviction(t *testing.T) {
 	c.put("a", Result{Value: 1}, gen)
 	c.put("b", Result{Value: 2}, gen)
 	c.put("c", Result{Value: 3}, gen) // evicts "a" (FIFO)
-	if _, ok := c.get("a", gen); ok {
+	if _, ok := c.get([]byte("a"), gen); ok {
 		t.Fatal("a must be evicted")
 	}
-	if r, ok := c.get("c", gen); !ok || r.Value != 3 {
+	if r, ok := c.get([]byte("c"), gen); !ok || r.Value != 3 {
 		t.Fatal("c must be cached")
 	}
 	if c.len() != 2 {
@@ -225,16 +225,16 @@ func TestCacheEviction(t *testing.T) {
 	// Stale-generation puts and gets are dropped.
 	c.clear()
 	c.put("d", Result{Value: 4}, gen)
-	if _, ok := c.get("d", c.generation()); ok {
+	if _, ok := c.get([]byte("d"), c.generation()); ok {
 		t.Fatal("stale-generation put must be dropped")
 	}
 	c.put("f", Result{Value: 5}, c.generation())
-	if _, ok := c.get("f", gen); ok {
+	if _, ok := c.get([]byte("f"), gen); ok {
 		t.Fatal("stale-generation get must miss")
 	}
 	// Error results are never cached.
 	c.put("e", Result{Err: errors.New("boom")}, c.generation())
-	if _, ok := c.get("e", c.generation()); ok {
+	if _, ok := c.get([]byte("e"), c.generation()); ok {
 		t.Fatal("error result must not be cached")
 	}
 }
@@ -574,11 +574,11 @@ func TestCacheEvictionChurnBounded(t *testing.T) {
 	}
 	// FIFO still holds: exactly the last `capacity` keys survive.
 	for i := 10_000 - capacity; i < 10_000; i++ {
-		if _, ok := c.get(fmt.Sprintf("k%d", i), gen); !ok {
+		if _, ok := c.get([]byte(fmt.Sprintf("k%d", i)), gen); !ok {
 			t.Fatalf("recent key k%d evicted", i)
 		}
 	}
-	if _, ok := c.get(fmt.Sprintf("k%d", 10_000-capacity-1), gen); ok {
+	if _, ok := c.get([]byte(fmt.Sprintf("k%d", 10_000-capacity-1)), gen); ok {
 		t.Fatal("old key survived FIFO eviction")
 	}
 	if c.len() != capacity {

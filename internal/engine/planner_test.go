@@ -1,0 +1,489 @@
+package engine
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/registry"
+	"repro/internal/words"
+)
+
+// TestCacheKeyDistinguishesQueries is the collision regression test
+// for the append-based cache key: every pair of distinct
+// (target, query) identities must produce distinct keys, including
+// the digit-boundary and field-boundary shapes a textual key could
+// alias, and the same identity must reproduce the same key.
+func TestCacheKeyDistinguishesQueries(t *testing.T) {
+	const d = 30
+	type keyed struct {
+		name   string
+		q      Query
+		target int
+	}
+	cases := []keyed{
+		{"f0 {1,23}", Query{Kind: KindF0, Cols: words.MustColumnSet(d, 1, 23)}, 0},
+		{"f0 {12,3}", Query{Kind: KindF0, Cols: words.MustColumnSet(d, 12, 3)}, 0},
+		{"f0 {1,2,3}", Query{Kind: KindF0, Cols: words.MustColumnSet(d, 1, 2, 3)}, 0},
+		{"f0 {1,2,3} other dim", Query{Kind: KindF0, Cols: words.MustColumnSet(d+1, 1, 2, 3)}, 0},
+		{"fp p=1 phi=12", Query{Kind: KindFp, Cols: words.MustColumnSet(d, 0), P: 1, Phi: 12}, 0},
+		{"fp p=11 phi=2", Query{Kind: KindFp, Cols: words.MustColumnSet(d, 0), P: 11, Phi: 2}, 0},
+		{"fp p=1.5", Query{Kind: KindFp, Cols: words.MustColumnSet(d, 0), P: 1.5}, 0},
+		{"hh same params as fp", Query{Kind: KindHeavyHitters, Cols: words.MustColumnSet(d, 0), P: 1.5}, 0},
+		{"freq nil pattern", Query{Kind: KindFrequency, Cols: words.MustColumnSet(d, 4)}, 0},
+		{"freq empty pattern", Query{Kind: KindFrequency, Cols: words.MustColumnSet(d, 4), Pattern: words.Word{}}, 0},
+		{"freq pattern 1,2", Query{Kind: KindFrequency, Cols: words.MustColumnSet(d, 4, 5), Pattern: words.Word{1, 2}}, 0},
+		{"freq pattern 258", Query{Kind: KindFrequency, Cols: words.MustColumnSet(d, 4, 5), Pattern: words.Word{258, 0}}, 0},
+		// The same question on different planner targets must not alias:
+		// this is the bug the target field exists to prevent.
+		{"f0 {1,23} via target 1", Query{Kind: KindF0, Cols: words.MustColumnSet(d, 1, 23)}, 1},
+		{"f0 {1,23} via target 2", Query{Kind: KindF0, Cols: words.MustColumnSet(d, 1, 23)}, 2},
+	}
+	keys := make(map[string]string, len(cases))
+	for _, tc := range cases {
+		key := string(tc.q.appendCacheKey(nil, tc.target))
+		if prev, dup := keys[key]; dup {
+			t.Errorf("cache key collision between %q and %q", prev, tc.name)
+		}
+		keys[key] = tc.name
+		if again := string(tc.q.appendCacheKey(nil, tc.target)); again != key {
+			t.Errorf("%s: key not deterministic", tc.name)
+		}
+	}
+	// Key building is allocation-free once the destination has capacity.
+	q := Query{Kind: KindHeavyHitters, Cols: words.MustColumnSet(d, 2, 7, 19), P: 2, Phi: 0.1, Pattern: words.Word{1, 2, 3}}
+	buf := make([]byte, 0, 128)
+	if allocs := testing.AllocsPerRun(100, func() {
+		buf = q.appendCacheKey(buf[:0], 3)
+	}); allocs != 0 {
+		t.Errorf("appendCacheKey allocates %v times per call", allocs)
+	}
+}
+
+// mirrorSub registers a subspace whose summary is built by the same
+// factory as the engine's catch-all — the specialization that makes
+// routed answers bit-identical to full-summary answers.
+func mirrorSub(t *testing.T, eng *Sharded, f Factory, cols ...int) words.ColumnSet {
+	t.Helper()
+	c := words.MustColumnSet(10, cols...)
+	if err := eng.RegisterSubspace(c, f); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestPlannedAnswersEquivalentToFullSummary is the planner
+// correctness property test: for every query kind, answers routed
+// through registered subspace summaries equal the answers of an
+// identical engine with no subspaces — bit-identical, since mirror
+// subspaces share kind, configuration, seed, and stream.
+func TestPlannedAnswersEquivalentToFullSummary(t *testing.T) {
+	netCfg := core.NetConfig{Alpha: 0.3, Epsilon: 0.25, Moments: []float64{2}, StableReps: 20, Seed: 7}
+	for _, tc := range []struct {
+		name    string
+		factory Factory
+	}{
+		{"exact", exactFactory(10, 2)},
+		{"net", netFactory(10, 2, netCfg)},
+		{"sample", func(shard int) (core.Summary, error) {
+			return core.NewSample(10, 2, 500, 100+uint64(shard))
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			tb := testTable(4000, 17)
+			plain, err := NewSharded(tc.factory, Config{Shards: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer plain.Close()
+			routed, err := NewSharded(tc.factory, Config{Shards: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer routed.Close()
+			exactC := mirrorSub(t, routed, tc.factory, 0, 1, 2)
+			coverC := mirrorSub(t, routed, tc.factory, 4, 5, 6, 7)
+			feedEngine(t, plain, tb)
+			feedEngine(t, routed, tb)
+
+			queries := []Query{
+				{Kind: KindF0, Cols: exactC},                                      // exact-match route
+				{Kind: KindF0, Cols: words.MustColumnSet(10, 4, 5)},               // covering route
+				{Kind: KindF0, Cols: words.MustColumnSet(10, 8, 9)},               // uncovered → full
+				{Kind: KindFp, Cols: exactC, P: 2},                                // exact-match route
+				{Kind: KindFp, Cols: words.MustColumnSet(10, 5, 7), P: 2},         // covering route
+				{Kind: KindFrequency, Cols: exactC, Pattern: words.Word{1, 1, 1}}, // exact-match route
+				{Kind: KindHeavyHitters, Cols: exactC, P: 1, Phi: 0.2},            // exact-match route
+				{Kind: KindHeavyHitters, Cols: coverC, P: 1, Phi: 0.2},            // exact-match route
+				{Kind: KindF0, Cols: words.FullColumnSet(10)},                     // full projection → full
+			}
+			want := plain.QueryBatch(queries)
+			got := routed.QueryBatch(queries)
+			wantRoutes := []string{
+				"subspace" + exactC.String(), "cover" + coverC.String(), "full",
+				"subspace" + exactC.String(), "cover" + coverC.String(),
+				"subspace" + exactC.String(), "subspace" + exactC.String(),
+				"subspace" + coverC.String(), "full",
+			}
+			for i := range queries {
+				if (want[i].Err == nil) != (got[i].Err == nil) {
+					t.Fatalf("query %d (%s): errors diverge: %v vs %v", i, queries[i].Kind, want[i].Err, got[i].Err)
+				}
+				if want[i].Err != nil {
+					if !errors.Is(got[i].Err, core.ErrUnsupported) || !errors.Is(want[i].Err, core.ErrUnsupported) {
+						t.Fatalf("query %d: unexpected errors %v vs %v", i, want[i].Err, got[i].Err)
+					}
+					continue
+				}
+				if got[i].Value != want[i].Value {
+					t.Errorf("query %d (%s %v): routed %v != full %v", i, queries[i].Kind, queries[i].Cols, got[i].Value, want[i].Value)
+				}
+				if len(got[i].Hits) != len(want[i].Hits) {
+					t.Errorf("query %d: %d hits routed, %d full", i, len(got[i].Hits), len(want[i].Hits))
+				} else {
+					for j := range got[i].Hits {
+						if !got[i].Hits[j].Pattern.Equal(want[i].Hits[j].Pattern) || got[i].Hits[j].Estimate != want[i].Hits[j].Estimate {
+							t.Errorf("query %d hit %d: %v/%v != %v/%v", i, j,
+								got[i].Hits[j].Pattern, got[i].Hits[j].Estimate,
+								want[i].Hits[j].Pattern, want[i].Hits[j].Estimate)
+						}
+					}
+				}
+				if got[i].Route != wantRoutes[i] {
+					t.Errorf("query %d routed via %q, want %q", i, got[i].Route, wantRoutes[i])
+				}
+				if want[i].Route != "full" {
+					t.Errorf("query %d on the plain engine routed via %q", i, want[i].Route)
+				}
+			}
+		})
+	}
+}
+
+// TestPlannerCapabilityFallback: a sketch-backed subspace serves the
+// classes it supports within its error bounds and hands everything
+// else back to the catch-all.
+func TestPlannerCapabilityFallback(t *testing.T) {
+	tb := testTable(3000, 21)
+	eng, err := NewSharded(exactFactory(10, 2), Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	hot := words.MustColumnSet(10, 0, 1, 2)
+	err = eng.RegisterSubspace(hot, func(shard int) (core.Summary, error) {
+		return core.NewRegistered(10, 2, []words.ColumnSet{hot}, core.RegisteredConfig{Seed: 3})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedEngine(t, eng, tb)
+	res := eng.QueryBatch([]Query{
+		{Kind: KindF0, Cols: hot},
+		{Kind: KindFrequency, Cols: hot, Pattern: words.Word{1, 1, 1}},
+	})
+	if res[0].Err != nil || res[1].Err != nil {
+		t.Fatal(res[0].Err, res[1].Err)
+	}
+	if res[0].Route != "subspace"+hot.String() {
+		t.Fatalf("F0 routed via %q", res[0].Route)
+	}
+	exact, err := eng.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := exact.(*registry.Registry).Full().(core.F0Querier).F0(hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truth == 0 || res[0].Value < 0.7*truth || res[0].Value > 1.3*truth {
+		t.Fatalf("sketched F0 %v outside bounds of exact %v", res[0].Value, truth)
+	}
+	// The registered sketch cannot answer point frequencies: the
+	// planner falls back to the catch-all transparently.
+	if res[1].Route != "full" {
+		t.Fatalf("frequency fell back via %q, want full", res[1].Route)
+	}
+	wantFreq, err := exact.(core.FrequencyQuerier).Frequency(hot, words.Word{1, 1, 1})
+	if err != nil || res[1].Value != wantFreq {
+		t.Fatalf("fallback frequency %v != %v (%v)", res[1].Value, wantFreq, err)
+	}
+}
+
+func TestRegisterSubspaceEngineRules(t *testing.T) {
+	eng, err := NewSharded(exactFactory(10, 2), Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	c := words.MustColumnSet(10, 0, 1)
+	if err := eng.RegisterSubspace(c, exactFactory(10, 2)); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate registration fails typed, and leaves the first intact.
+	if err := eng.RegisterSubspace(c, exactFactory(10, 2)); !errors.Is(err, registry.ErrDuplicateSubspace) {
+		t.Fatalf("duplicate subspace: %v", err)
+	}
+	// Non-mergeable subspace summaries are refused.
+	if err := eng.RegisterSubspace(words.MustColumnSet(10, 2), func(int) (core.Summary, error) {
+		return unmergeable{}, nil
+	}); err == nil {
+		t.Fatal("unmergeable subspace summary must be rejected")
+	}
+	// Registration after ingestion is refused.
+	eng.Observe(make(words.Word, 10))
+	if err := eng.RegisterSubspace(words.MustColumnSet(10, 3), exactFactory(10, 2)); !errors.Is(err, ErrRowsAccepted) {
+		t.Fatalf("post-ingest registration: %v", err)
+	}
+	// An empty column set routes to the catch-all, whose validation
+	// produces the caller-facing error — no panic anywhere on the way.
+	res := eng.QueryBatch([]Query{{Kind: KindF0, Cols: words.ColumnSet{}}})
+	if res[0].Err == nil || res[0].Route != "full" {
+		t.Fatalf("empty column set: %v via %q", res[0].Err, res[0].Route)
+	}
+	subs := eng.Subspaces()
+	// The observed row has drained by the time Subspaces quiesces, so
+	// the mirror's exact summary reports non-zero size.
+	if len(subs) != 1 || !subs[0].Cols.Equal(c) || subs[0].SizeBytes == 0 {
+		t.Fatalf("subspace listing %+v", subs)
+	}
+	if subs[0].Name != "exact" {
+		t.Fatalf("subspace name %q", subs[0].Name)
+	}
+}
+
+// TestRegisterSubspaceRefusedAfterZeroRowAbsorb: the pre-ingestion
+// gate must not trust the donor-influenced row clock alone — a blob
+// can carry sketch state while claiming zero rows (see Absorb), and a
+// subspace registered afterwards would silently lack that state.
+func TestRegisterSubspaceRefusedAfterZeroRowAbsorb(t *testing.T) {
+	cfg := core.NetConfig{Alpha: 0.3, Epsilon: 0.3, Seed: 5}
+	eng, err := NewSharded(netFactory(10, 2, cfg), Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	donor, err := core.NewNet(10, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	donor.Observe(make(words.Word, 10))
+	blob, err := core.MarshalSummary(donor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint64(blob[24:], 0) // lie: zero rows
+	dec, err := core.UnmarshalSummary(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Absorb(dec); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Rows() != 0 {
+		t.Fatalf("crafted donor advanced the row clock to %d", eng.Rows())
+	}
+	err = eng.RegisterSubspace(words.MustColumnSet(10, 0, 1), netFactory(10, 2, cfg))
+	if !errors.Is(err, ErrRowsAccepted) {
+		t.Fatalf("registration after a zero-row absorb: %v", err)
+	}
+}
+
+// TestFactoryProvidedRegistryComposes: a factory may hand the engine
+// ready-made registries; engine-level registrations stack on top, and
+// Subspaces() must attribute names and sizes to the engine's own
+// registrations (the trailing entries), not the factory's.
+func TestFactoryProvidedRegistryComposes(t *testing.T) {
+	pre := words.MustColumnSet(10, 6, 7)
+	eng, err := NewSharded(func(shard int) (core.Summary, error) {
+		base, err := core.NewExact(10, 2)
+		if err != nil {
+			return nil, err
+		}
+		reg, err := registry.New(base)
+		if err != nil {
+			return nil, err
+		}
+		sub, err := core.NewExact(10, 2)
+		if err != nil {
+			return nil, err
+		}
+		return reg, reg.RegisterSubspace(pre, sub)
+	}, Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	mine := words.MustColumnSet(10, 0, 1)
+	if err := eng.RegisterSubspace(mine, func(int) (core.Summary, error) {
+		return core.NewRegistered(10, 2, []words.ColumnSet{mine}, core.RegisteredConfig{Seed: 5})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n := eng.NumSubspaces(); n != 1 {
+		t.Fatalf("engine counts %d subspaces, want its own 1", n)
+	}
+	subs := eng.Subspaces()
+	if len(subs) != 1 || !subs[0].Cols.Equal(mine) || subs[0].Name != "registered(1 subsets)" {
+		t.Fatalf("listing attributes the wrong entry: %+v", subs)
+	}
+	feedEngine(t, eng, testTable(500, 41))
+	// Both the factory's and the engine's subspaces serve their routes.
+	res := eng.QueryBatch([]Query{
+		{Kind: KindF0, Cols: pre},
+		{Kind: KindF0, Cols: mine},
+	})
+	if res[0].Err != nil || res[1].Err != nil {
+		t.Fatal(res[0].Err, res[1].Err)
+	}
+	if res[0].Route != "subspace"+pre.String() || res[1].Route != "subspace"+mine.String() {
+		t.Fatalf("routes %q / %q", res[0].Route, res[1].Route)
+	}
+}
+
+// TestQueryBatchOrderingUnderParallelPool issues a large mixed batch
+// (many distinct routed targets, duplicates, cache hits on repeat) and
+// checks every answer lands at its own position; under -race this also
+// exercises the bounded evaluation pool.
+func TestQueryBatchOrderingUnderParallelPool(t *testing.T) {
+	tb := testTable(3000, 29)
+	eng, err := NewSharded(exactFactory(10, 2), Config{Shards: 3, QueryWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	for _, cols := range [][]int{{0, 1, 2}, {3, 4}, {5, 6, 7}} {
+		mirrorSub(t, eng, exactFactory(10, 2), cols...)
+	}
+	feedEngine(t, eng, tb)
+
+	var queries []Query
+	for i := 0; i < 60; i++ {
+		c := words.MustColumnSet(10, i%9, i%9+1)
+		queries = append(queries, Query{Kind: KindF0, Cols: c})
+		queries = append(queries, Query{Kind: KindFp, Cols: c, P: 2})
+	}
+	// Per-query reference answers, computed one at a time.
+	want := make([]Result, len(queries))
+	for i, q := range queries {
+		want[i] = eng.QueryBatch([]Query{q})[0]
+		if want[i].Err != nil {
+			t.Fatal(want[i].Err)
+		}
+	}
+	// Whole batch, repeatedly and concurrently: positions must match.
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got := eng.QueryBatch(queries)
+			for i := range got {
+				if got[i].Err != nil {
+					t.Errorf("query %d: %v", i, got[i].Err)
+					return
+				}
+				if got[i].Value != want[i].Value {
+					t.Errorf("query %d answered %v at the wrong position (want %v)", i, got[i].Value, want[i].Value)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestSubspaceEngineWireRoundTrip: an engine with subspaces exports a
+// whole-registry blob that another engine with the same registrations
+// absorbs; bare pushes are refused once subspaces exist.
+func TestSubspaceEngineWireRoundTrip(t *testing.T) {
+	netCfg := core.NetConfig{Alpha: 0.3, Epsilon: 0.25, Seed: 5}
+	build := func() *Sharded {
+		eng, err := NewSharded(netFactory(10, 2, netCfg), Config{Shards: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mirrorSub(t, eng, netFactory(10, 2, netCfg), 0, 1, 2)
+		return eng
+	}
+	a, b := build(), build()
+	defer a.Close()
+	defer b.Close()
+	feedEngine(t, a, testTable(500, 31))
+	blob, err := a.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := core.UnmarshalSummary(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, ok := dec.(*registry.Registry)
+	if !ok {
+		t.Fatalf("subspaced engine exported %T, want a registry blob", dec)
+	}
+	if reg.NumSubspaces() != 1 || reg.Rows() != 500 {
+		t.Fatalf("exported registry: %d subspaces, %d rows", reg.NumSubspaces(), reg.Rows())
+	}
+	if err := b.Absorb(dec); err != nil {
+		t.Fatal(err)
+	}
+	c := words.MustColumnSet(10, 0, 1)
+	wantF0, err := a.F0(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotF0, err := b.F0(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotF0 != wantF0 {
+		t.Fatalf("absorbed engine F0 %v != source %v", gotF0, wantF0)
+	}
+	// A bare (non-registry) donor no longer merges: the subspace
+	// summaries would fall behind the stream.
+	donor, err := core.NewNet(10, 2, netCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	donor.Observe(make(words.Word, 10))
+	if err := b.Absorb(donor); !errors.Is(err, core.ErrIncompatibleMerge) {
+		t.Fatalf("bare absorb into subspaced engine: %v", err)
+	}
+}
+
+// TestSubspaceCacheDoesNotAliasAcrossTargets reproduces the aliasing
+// the target-aware cache key prevents: two different questions that
+// the planner sends to different summaries but whose answers a
+// target-blind key would conflate are asked in one batch, and each
+// must come back from its own summary.
+func TestSubspaceCacheDoesNotAliasAcrossTargets(t *testing.T) {
+	tb := testTable(2000, 37)
+	eng, err := NewSharded(exactFactory(10, 2), Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	hot := words.MustColumnSet(10, 0, 1, 2)
+	err = eng.RegisterSubspace(hot, func(shard int) (core.Summary, error) {
+		return core.NewRegistered(10, 2, []words.ColumnSet{hot}, core.RegisteredConfig{Seed: 11})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedEngine(t, eng, tb)
+	q := Query{Kind: KindF0, Cols: hot}
+	first := eng.QueryBatch([]Query{q})[0]
+	if first.Err != nil || first.Cached {
+		t.Fatalf("first: %+v", first)
+	}
+	second := eng.QueryBatch([]Query{q})[0]
+	if !second.Cached || second.Value != first.Value || second.Route != first.Route {
+		t.Fatalf("repeat of the routed query must hit its own cache entry: %+v vs %+v", second, first)
+	}
+	if first.Route != "subspace"+hot.String() {
+		t.Fatalf("routed via %q", first.Route)
+	}
+}

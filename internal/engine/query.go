@@ -1,12 +1,14 @@
 package engine
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
-	"runtime"
-	"strings"
+	"math"
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/registry"
 	"repro/internal/words"
 )
 
@@ -16,9 +18,13 @@ type Kind uint8
 // The supported query classes. Lp sampling is deliberately absent: a
 // random draw is neither cacheable nor batchable.
 const (
+	// KindF0 is a projected distinct-count query.
 	KindF0 Kind = iota
+	// KindFp is a projected frequency-moment query of order P.
 	KindFp
+	// KindFrequency is a projected point-frequency query for Pattern.
 	KindFrequency
+	// KindHeavyHitters is a projected φ-ℓp heavy-hitter query.
 	KindHeavyHitters
 )
 
@@ -40,6 +46,7 @@ func (k Kind) String() string {
 
 // Query is one projected-frequency question for QueryBatch.
 type Query struct {
+	// Kind is the query class.
 	Kind Kind
 	// Cols is the projection C.
 	Cols words.ColumnSet
@@ -51,16 +58,31 @@ type Query struct {
 	Pattern words.Word
 }
 
-// cacheKey identifies the query up to answer equivalence: the summary
-// is deterministic, so (kind, C, p, phi, pattern) fixes the result for
-// a given snapshot.
-func (q Query) cacheKey() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%d|%s|%g|%g|", q.Kind, q.Cols, q.P, q.Phi)
-	if q.Pattern != nil {
-		b.WriteString(q.Pattern.String())
+// appendCacheKey appends the query's cache identity to dst and
+// returns the extended slice: a compact binary encoding of everything
+// that fixes the answer for a given snapshot — the planner's routing
+// target, the kind, the projection, and the numeric parameters. Every
+// variable-length field is length-prefixed and the floats are
+// fixed-width bit patterns, so distinct queries cannot collide (the
+// collision regression test pins this down); building the key is
+// allocation-free once dst has capacity, unlike the fmt.Fprintf key
+// it replaced. The target sits right after the kind byte: the same
+// question routed to different summaries is a different cache entry,
+// so planner routing cannot alias results across targets.
+func (q Query) appendCacheKey(dst []byte, target int) []byte {
+	dst = append(dst, byte(q.Kind))
+	dst = binary.AppendUvarint(dst, uint64(target))
+	dst = q.Cols.AppendCanonicalKey(dst)
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(q.P))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(q.Phi))
+	if q.Pattern == nil {
+		return append(dst, 0)
 	}
-	return b.String()
+	dst = binary.AppendUvarint(dst, uint64(len(q.Pattern))+1)
+	for _, x := range q.Pattern {
+		dst = binary.LittleEndian.AppendUint16(dst, x)
+	}
+	return dst
 }
 
 // Result is the answer to one batched query.
@@ -70,17 +92,33 @@ type Result struct {
 	// Hits is the heavy-hitter list (KindHeavyHitters); callers must
 	// not mutate it — it may be shared through the cache.
 	Hits []core.HeavyHitter
-	// Err is the per-query failure, core.ErrUnsupported when the base
-	// summary kind cannot answer this class.
+	// Err is the per-query failure, core.ErrUnsupported when no
+	// candidate summary can answer this class.
 	Err error
+	// Route says which summary served the query: "full" for the
+	// catch-all (whether planned or reached by capability fallback),
+	// "subspace{…}" for an exact-match subspace, "cover{…}" for a
+	// covering one.
+	Route string
 	// Cached reports that the answer was served from the result cache.
 	Cached bool
 }
 
 // QueryBatch answers a batch of queries against one consistent merged
 // snapshot: the engine quiesces ingestion once, merges once (or reuses
-// the previous snapshot when no rows arrived), then answers cache
-// misses concurrently. len(out) == len(queries), position-matched.
+// the previous snapshot when no rows arrived), then serves the batch —
+//
+//  1. plan: each query's column set is routed by the snapshot's
+//     registry (exact subspace → cheapest covering subspace → full);
+//  2. cache probe: the per-(target, query) key is checked against the
+//     generation-checked result cache;
+//  3. evaluate: distinct missing (target, query) pairs are answered
+//     concurrently on a pool of Config.QueryWorkers goroutines, each
+//     against its planned summary, falling back to the full summary
+//     when a specialized one cannot answer the class;
+//  4. reassemble: answers land at their original batch positions
+//     (len(out) == len(queries), position-matched) and misses are
+//     written back to the cache.
 func (s *Sharded) QueryBatch(queries []Query) []Result {
 	out := make([]Result, len(queries))
 	if len(queries) == 0 {
@@ -93,26 +131,31 @@ func (s *Sharded) QueryBatch(queries []Query) []Result {
 		}
 		return out
 	}
-	// Deduplicate within the batch: identical queries share one
-	// computation (and one cache entry).
+	// Deduplicate within the batch: identical queries planned to the
+	// same target share one computation (and one cache entry).
 	misses := make(map[string][]int)
+	targets := make(map[string]registry.Target)
 	var order []string
+	var kb []byte
 	for i, q := range queries {
-		key := q.cacheKey()
-		if r, ok := s.cache.get(key, gen); ok {
+		t := snap.Plan(q.Cols)
+		kb = q.appendCacheKey(kb[:0], t.ID)
+		if r, ok := s.cache.get(kb, gen); ok {
 			out[i] = r
 			out[i].Cached = true
 			continue
 		}
+		key := string(kb)
 		if _, dup := misses[key]; !dup {
 			order = append(order, key)
+			targets[key] = t
 		}
 		misses[key] = append(misses[key], i)
 	}
 	if len(order) == 0 {
 		return out
 	}
-	workers := runtime.GOMAXPROCS(0)
+	workers := s.cfg.QueryWorkers
 	if workers > len(order) {
 		workers = len(order)
 	}
@@ -120,16 +163,17 @@ func (s *Sharded) QueryBatch(queries []Query) []Result {
 	sem := make(chan struct{}, workers)
 	for _, key := range order {
 		idx := misses[key]
+		t := targets[key]
 		wg.Add(1)
 		sem <- struct{}{}
-		go func(idx []int) {
+		go func(idx []int, t registry.Target) {
 			defer wg.Done()
-			r := answer(snap, queries[idx[0]])
+			r := answerPlanned(snap, t, queries[idx[0]])
 			for _, i := range idx {
 				out[i] = r
 			}
 			<-sem
-		}(idx)
+		}(idx, t)
 	}
 	wg.Wait()
 	for _, key := range order {
@@ -138,7 +182,20 @@ func (s *Sharded) QueryBatch(queries []Query) []Result {
 	return out
 }
 
-// answer resolves one query against an immutable snapshot.
+// answerPlanned resolves one query against its planned target,
+// falling back to the catch-all when a specialized subspace summary
+// cannot answer the query's class at all.
+func answerPlanned(snap *registry.Registry, t registry.Target, q Query) Result {
+	r := answer(t.Summary, q)
+	r.Route = t.Route
+	if t.ID != 0 && errors.Is(r.Err, core.ErrUnsupported) {
+		r = answer(snap.Full(), q)
+		r.Route = registry.RouteFull
+	}
+	return r
+}
+
+// answer resolves one query against an immutable snapshot summary.
 func answer(snap core.Summary, q Query) Result {
 	switch q.Kind {
 	case KindF0:

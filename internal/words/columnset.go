@@ -1,6 +1,7 @@
 package words
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/bits"
 	"sort"
@@ -77,6 +78,27 @@ func (c ColumnSet) Dim() int { return c.d }
 
 // Len returns |C|.
 func (c ColumnSet) Len() int { return len(c.cols) }
+
+// At returns the i-th smallest member column, 0 ≤ i < Len. Unlike
+// Columns it does not allocate, which is what hot paths that walk a
+// set's members (cache-key construction, planners) need.
+func (c ColumnSet) At(i int) int { return c.cols[i] }
+
+// AppendCanonicalKey appends a canonical binary key of the set —
+// dimension, member count, and the sorted unique members, all varint
+// — to dst and returns the extended slice. Equal sets produce equal
+// keys, unequal sets cannot collide (every field is self-delimiting),
+// and appending into a caller buffer keeps key construction
+// allocation-free; it is the one encoding shared by the planner's
+// exact-match index and the engine's query cache key.
+func (c ColumnSet) AppendCanonicalKey(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(c.d))
+	dst = binary.AppendUvarint(dst, uint64(len(c.cols)))
+	for _, j := range c.cols {
+		dst = binary.AppendUvarint(dst, uint64(j))
+	}
+	return dst
+}
 
 // Columns returns a copy of the sorted member columns.
 func (c ColumnSet) Columns() []int {
@@ -199,9 +221,22 @@ func (c ColumnSet) Equal(o ColumnSet) bool {
 	return true
 }
 
-// IsSubsetOf reports whether C ⊆ o.
+// IsSubsetOf reports whether C ⊆ o. It walks both sorted member
+// lists in place — no intersection materializes — so planners can
+// probe coverage on the query hot path without allocating.
 func (c ColumnSet) IsSubsetOf(o ColumnSet) bool {
-	return c.Intersect(o).Len() == c.Len()
+	c.mustSameDim(o)
+	j := 0
+	for _, x := range c.cols {
+		for j < len(o.cols) && o.cols[j] < x {
+			j++
+		}
+		if j >= len(o.cols) || o.cols[j] != x {
+			return false
+		}
+		j++
+	}
+	return true
 }
 
 func (c ColumnSet) mustSameDim(o ColumnSet) {

@@ -4,9 +4,26 @@
 // e(·) of Remark 1 in the paper that maps Q-ary words to positions of
 // the frequency vector f(A, C).
 //
+// The types divide along the paper's two axes:
+//
+//   - Data: Word is one row ([]uint16 symbols); Table is an in-memory
+//     n×d array; RowSource streams rows one pass at a time; Batch is a
+//     flat stride-d buffer of rows, the unit of amortized ingestion
+//     (one allocation and one bookkeeping pass per batch instead of
+//     per row) that core.BatchObserver consumes.
+//   - Queries: ColumnSet is an immutable subset C ⊆ [d] with the set
+//     algebra the bounds are stated in (union, intersection, symmetric
+//     difference for the α-net neighbour distance) and the predicates
+//     planners route on (Equal for exact matches, IsSubsetOf for
+//     covering ones). Project/ProjectInto apply C to a row; AppendKey
+//     builds the canonical projection key that summaries hash.
+//
 // Words are stored as []uint16 symbol slices, supporting alphabets up
 // to Q = 65536, which covers every parameter regime used by the paper
-// (the corollaries in Section 4 take Q as large as poly(d)).
+// (the corollaries in Section 4 take Q as large as poly(d)). Nothing
+// here allocates on hot paths beyond what the caller hands in: rows
+// project into caller buffers, batches expose row views into their
+// backing array, and ColumnSet members are read in place (At).
 package words
 
 import (

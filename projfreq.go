@@ -38,6 +38,7 @@ package projfreq
 import (
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/registry"
 	"repro/internal/rng"
 	"repro/internal/words"
 )
@@ -214,6 +215,36 @@ const (
 func NewShardedSummary(factory SummaryFactory, cfg ShardedConfig) (*ShardedSummary, error) {
 	return engine.NewSharded(factory, cfg)
 }
+
+// The subspace registry and query planner: many summaries keyed by
+// the column set they were provisioned for, behind one planning
+// front door.
+type (
+	// SubspaceRegistry holds a catch-all full-dimension summary plus
+	// any number of per-columnset subspace summaries, and routes each
+	// projection query to the cheapest one able to serve it
+	// (exact-match subspace → cheapest covering subspace → full
+	// fallback). It implements Summary, Mergeable, the batched query
+	// interfaces, and the wire codec, so it drops in anywhere a
+	// summary does — including as the per-shard summary of
+	// NewShardedSummary, whose RegisterSubspace method is the engine
+	// form of the same registration.
+	SubspaceRegistry = registry.Registry
+	// SubspaceInfo describes one subspace registered on a sharded
+	// engine (ShardedSummary.Subspaces).
+	SubspaceInfo = engine.SubspaceInfo
+)
+
+// ErrDuplicateSubspace reports a second registration of the same
+// column set on a registry or engine.
+var ErrDuplicateSubspace = registry.ErrDuplicateSubspace
+
+// NewRegistry wraps a catch-all summary in a subspace registry.
+// Register dedicated summaries for hot projections with
+// RegisterSubspace — before any row is observed, so every member
+// digests the identical stream — then stream rows into the registry
+// and query it like any summary; see Example_registry.
+func NewRegistry(full Summary) (*SubspaceRegistry, error) { return registry.New(full) }
 
 // WireVersion is the version byte of the summary wire format (see
 // ARCHITECTURE.md for the full envelope and payload specification).
