@@ -30,6 +30,13 @@
 //	projfreq -demo -summary net -save shard.pfqs -query 0,1
 //	projfreq -demo -summary net -push http://localhost:8080 -query 0,1
 //	projfreq -load shard.pfqs -query 0,1 -stats f0
+//
+// -save stages the blob in a temporary file and renames it into
+// place, so an interrupted save never leaves a torn file. Finally,
+// -inspect-dir audits a projfreqd -data-dir offline — every WAL
+// segment and checkpoint listed with its CRCs verified:
+//
+//	projfreq -inspect-dir /var/lib/projfreq
 package main
 
 import (
@@ -48,6 +55,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/freq"
 	"repro/internal/rng"
+	"repro/internal/store"
 	"repro/internal/words"
 	"repro/internal/workload"
 )
@@ -61,26 +69,35 @@ func main() {
 
 func run() error {
 	var (
-		dataPath  = flag.String("data", "", "CSV file of rows (symbols in [q])")
-		q         = flag.Int("q", 2, "alphabet size Q")
-		demo      = flag.Bool("demo", false, "use a built-in demo dataset instead of -data")
-		kind      = flag.String("summary", "exact", "summary kind: exact | sample | net")
-		eps       = flag.Float64("eps", 0.05, "accuracy parameter")
-		delta     = flag.Float64("delta", 0.01, "failure probability (sample summary)")
-		alpha     = flag.Float64("alpha", 0.3, "alpha-net parameter (net summary)")
-		seed      = flag.Uint64("seed", 1, "random seed")
-		queryStr  = flag.String("query", "", "comma-separated column indices (required)")
-		statsStr  = flag.String("stats", "f0,f1", "comma-separated stats: f0,f1,f2,hh,freq:<pattern>")
-		phi       = flag.Float64("phi", 0.1, "heavy hitter threshold")
-		shards    = flag.Int("shards", 0, "ingest through an N-shard parallel engine (0 = direct)")
-		batchStr  = flag.String("batch", "", "semicolon-separated column lists answered as one F0 query batch (requires -shards)")
-		subspace  = flag.String("subspace", "", "semicolon-separated column lists to register dedicated subspace summaries for before ingestion (requires -shards)")
-		batchRows = flag.Int("batch-rows", 0, "ingest rows in flat batches of this many rows (0 = one Observe per row)")
-		savePath  = flag.String("save", "", "write the built summary's wire form to this file")
-		pushURL   = flag.String("push", "", "POST the built summary's wire form to this projfreqd base URL")
-		loadPath  = flag.String("load", "", "answer queries from a saved summary blob instead of building one")
+		dataPath   = flag.String("data", "", "CSV file of rows (symbols in [q])")
+		q          = flag.Int("q", 2, "alphabet size Q")
+		demo       = flag.Bool("demo", false, "use a built-in demo dataset instead of -data")
+		kind       = flag.String("summary", "exact", "summary kind: exact | sample | net")
+		eps        = flag.Float64("eps", 0.05, "accuracy parameter")
+		delta      = flag.Float64("delta", 0.01, "failure probability (sample summary)")
+		alpha      = flag.Float64("alpha", 0.3, "alpha-net parameter (net summary)")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		queryStr   = flag.String("query", "", "comma-separated column indices (required)")
+		statsStr   = flag.String("stats", "f0,f1", "comma-separated stats: f0,f1,f2,hh,freq:<pattern>")
+		phi        = flag.Float64("phi", 0.1, "heavy hitter threshold")
+		shards     = flag.Int("shards", 0, "ingest through an N-shard parallel engine (0 = direct)")
+		batchStr   = flag.String("batch", "", "semicolon-separated column lists answered as one F0 query batch (requires -shards)")
+		subspace   = flag.String("subspace", "", "semicolon-separated column lists to register dedicated subspace summaries for before ingestion (requires -shards)")
+		batchRows  = flag.Int("batch-rows", 0, "ingest rows in flat batches of this many rows (0 = one Observe per row)")
+		savePath   = flag.String("save", "", "write the built summary's wire form to this file")
+		pushURL    = flag.String("push", "", "POST the built summary's wire form to this projfreqd base URL")
+		loadPath   = flag.String("load", "", "answer queries from a saved summary blob instead of building one")
+		inspectDir = flag.String("inspect-dir", "", "list and CRC-verify a projfreqd data directory (WAL segments + checkpoints), then exit")
 	)
 	flag.Parse()
+
+	if *inspectDir != "" {
+		if *dataPath != "" || *demo || *loadPath != "" || *queryStr != "" ||
+			*savePath != "" || *pushURL != "" || *shards > 0 || *batchStr != "" || *subspace != "" {
+			return fmt.Errorf("-inspect-dir only inspects; it cannot be combined with -data, -demo, -load, -query, -save, -push, -shards, -batch, or -subspace")
+		}
+		return inspect(*inspectDir, os.Stdout)
+	}
 
 	var (
 		table *words.Table
@@ -175,7 +192,12 @@ func run() error {
 			return err
 		}
 		if *savePath != "" {
-			if err := os.WriteFile(*savePath, blob, 0o644); err != nil {
+			// Staged write + rename: a crash mid-save can truncate a
+			// plain WriteFile and leave a torn blob where a good one may
+			// have been; the atomic helper (shared with the store's
+			// checkpoints) leaves either the old file or the whole new
+			// one.
+			if err := store.WriteFileAtomic(*savePath, blob, 0o644); err != nil {
 				return err
 			}
 			fmt.Printf("saved %d-byte summary to %s\n", len(blob), *savePath)
@@ -220,6 +242,49 @@ func ingest(sum core.Summary, src words.RowSource, batchRows int) error {
 		}
 	}
 	core.ObserveAll(sum, batch)
+	return nil
+}
+
+// inspect prints the -inspect-dir report: every WAL segment and
+// checkpoint in a projfreqd data directory, with frame and checkpoint
+// CRCs verified and damage called out (a torn tail on the last
+// segment is what a crash mid-append leaves; recovery tolerates it).
+// Nothing is modified.
+func inspect(dir string, out io.Writer) error {
+	rep, err := store.Inspect(dir)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "data directory %s (d=%d, Q=%d)\n", dir, rep.Dim, rep.Alphabet)
+	fmt.Fprintf(out, "segments (%d):\n", len(rep.Segments))
+	damaged := 0
+	for _, s := range rep.Segments {
+		switch {
+		case s.Err != "":
+			damaged++
+			fmt.Fprintf(out, "  %s  %d bytes  CORRUPT: %s\n", s.Name, s.Bytes, s.Err)
+		case s.Torn:
+			damaged++
+			fmt.Fprintf(out, "  %s  lsn=%d records=%d rows=%d bytes=%d  TORN TAIL (last frame incomplete)\n",
+				s.Name, s.FirstLSN, s.Records, s.Rows, s.Bytes)
+		default:
+			fmt.Fprintf(out, "  %s  lsn=%d records=%d rows=%d bytes=%d  ok\n",
+				s.Name, s.FirstLSN, s.Records, s.Rows, s.Bytes)
+		}
+	}
+	fmt.Fprintf(out, "checkpoints (%d):\n", len(rep.Checkpoints))
+	for _, c := range rep.Checkpoints {
+		if c.Err != "" {
+			damaged++
+			fmt.Fprintf(out, "  %s  %d bytes  CORRUPT: %s\n", c.Name, c.Bytes, c.Err)
+			continue
+		}
+		fmt.Fprintf(out, "  %s  lsn=%d rows=%d shards=%d subspaces=%d bytes=%d  ok\n",
+			c.Name, c.LSN, c.Rows, c.Shards, c.Subspaces, c.Bytes)
+	}
+	if damaged > 0 {
+		fmt.Fprintf(out, "%d damaged file(s)\n", damaged)
+	}
 	return nil
 }
 

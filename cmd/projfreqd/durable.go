@@ -1,0 +1,266 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/store"
+	"repro/internal/words"
+)
+
+// This file is the daemon's durability glue: boot recovery, the
+// checkpoint cut, the automatic checkpointer, and the admin endpoint.
+// The layering: internal/store owns files and frames, internal/engine
+// owns the consistent cut (CheckpointState/Restore/Replay*), and this
+// file maps between them — including the one piece of state only the
+// daemon knows, the subspace registrations' provisioning kind strings
+// (subspaceBuilder input), which ride the WAL as registration records
+// and every checkpoint as SubspaceMeta.
+
+// errSubspaceNotLogged marks a registration that mutated the engine
+// but could not be made durable; the handler turns it into a 500.
+var errSubspaceNotLogged = errors.New("registration applied but not logged")
+
+// errNotDurable reports a durability operation on a daemon started
+// without -data-dir.
+var errNotDurable = errors.New("daemon runs without -data-dir")
+
+// recordSubspace makes one accepted registration durable and adds it
+// to the in-memory meta list checkpoints embed. Callers hold regMu.
+// The empty kind string is canonicalized so replay hands the builder
+// the same spelling every time.
+//
+// The meta list is appended even when the WAL write fails: the engine
+// registration has already happened and cannot be undone, and a
+// checkpoint whose shard blobs carry a subspace its metadata omits
+// would be unrecoverable (Restore's structure validation refuses it).
+// With meta and engine in lockstep, the next successful checkpoint
+// re-establishes full durability for the registration; until then a
+// crash recovers to the registration-free prefix — which matches what
+// the client was told, since this path still returns an error.
+func (s *server) recordSubspace(c words.ColumnSet, summary string) error {
+	if s.wal == nil {
+		// Nothing to record: without a store there are no checkpoints
+		// to embed the meta list in and no replay to re-register from —
+		// and ColumnSet.Mask (the record format) caps d at 64, a limit
+		// in-memory daemons need not inherit.
+		return nil
+	}
+	if summary == "" {
+		summary = "mirror"
+	}
+	meta := store.SubspaceMeta{Mask: c.Mask(), Summary: summary}
+	s.subMeta = append(s.subMeta, meta)
+	if err := s.wal.AppendSubspace(meta.Mask, meta.Summary); err != nil {
+		return fmt.Errorf("%w: %v", errSubspaceNotLogged, err)
+	}
+	return nil
+}
+
+// applySubspaceMeta re-registers one recovered subspace registration
+// (from a checkpoint's metadata or a WAL record) through the same
+// builder live registrations use.
+func (s *server) applySubspaceMeta(meta store.SubspaceMeta) error {
+	c, err := words.ColumnSetFromMask(meta.Mask, s.eng.Dim())
+	if err != nil {
+		return fmt.Errorf("subspace mask %#x: %w", meta.Mask, err)
+	}
+	factory, err := s.subBuild(c, meta.Summary)
+	if err != nil {
+		return fmt.Errorf("subspace %v: %w", c, err)
+	}
+	if err := s.eng.RegisterSubspace(c, factory); err != nil {
+		return err
+	}
+	s.subMeta = append(s.subMeta, meta)
+	return nil
+}
+
+// recover rebuilds the engine from the data directory before the
+// daemon starts serving: restore the newest checkpoint (re-register
+// its subspaces first, so the shard blobs' registry structure
+// matches), then replay the WAL tail through the engine's replay
+// entry points — which route like live ingestion but never tee back
+// into the log. Runs single-threaded at boot; any failure is fatal,
+// because serving from a partially recovered state would silently
+// drop acknowledged data.
+func (s *server) recover() error {
+	start := time.Now()
+	info, err := s.wal.Recover(func(ck *store.Checkpoint) error {
+		for _, meta := range ck.Subspaces {
+			if err := s.applySubspaceMeta(meta); err != nil {
+				return fmt.Errorf("re-registering checkpoint subspace: %w", err)
+			}
+		}
+		return s.eng.Restore(engine.CheckpointState{
+			Next:    ck.Next,
+			Rows:    ck.Rows,
+			Absorbs: int(ck.Absorbs),
+			Shards:  ck.Shards,
+		})
+	}, func(rec store.Record) error {
+		switch rec.Kind {
+		case store.RecordBatch:
+			return s.eng.ReplayBatch(words.BatchOf(s.eng.Dim(), rec.Rows))
+		case store.RecordSummary:
+			sum, err := core.UnmarshalSummary(rec.Blob)
+			if err != nil {
+				return fmt.Errorf("decoding absorbed summary: %w", err)
+			}
+			return s.eng.ReplayAbsorb(sum)
+		case store.RecordSubspace:
+			return s.applySubspaceMeta(store.SubspaceMeta{Mask: rec.Mask, Summary: rec.Summary})
+		default:
+			return fmt.Errorf("unknown WAL record kind %v", rec.Kind)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if info.Checkpoint {
+		log.Printf("projfreqd: recovered checkpoint at LSN %d, replayed %d WAL records (%d rows) in %v; serving %d rows",
+			info.CheckpointLSN, info.Records, info.Rows, time.Since(start).Round(time.Millisecond), s.eng.Rows())
+	} else if info.Records > 0 {
+		log.Printf("projfreqd: no checkpoint; replayed %d WAL records (%d rows) in %v; serving %d rows",
+			info.Records, info.Rows, time.Since(start).Round(time.Millisecond), s.eng.Rows())
+	} else {
+		log.Printf("projfreqd: empty data directory; starting fresh")
+	}
+	s.lastCkptRows = s.eng.Rows()
+	s.lastCkptTime = time.Now()
+	// Heal the directory before serving: if records had to replay (the
+	// next boot would repeat that work) or the newest checkpoint file
+	// is not the one recovery restored (it is rotten — and its name
+	// would keep the automatic triggers quiet, since they compare the
+	// log end against the newest checkpoint's named cut), cut a fresh
+	// checkpoint now. It lands at the current log end, compacting the
+	// replayed tail and overwriting a rotten same-cut file.
+	if stats := s.wal.Stats(); info.Records > 0 || (stats.Checkpoints > 0 && stats.CheckpointLSN != info.CheckpointLSN) {
+		healed, err := s.checkpoint()
+		if err != nil {
+			return fmt.Errorf("boot checkpoint: %w", err)
+		}
+		log.Printf("projfreqd: boot checkpoint at LSN %d (%d segments, %d log bytes)",
+			healed.CheckpointLSN, healed.Segments, healed.LogBytes)
+	}
+	return nil
+}
+
+// checkpoint cuts a consistent engine image and writes it durably,
+// compacting the WAL behind it. Safe for concurrent callers; only one
+// checkpoint runs at a time.
+func (s *server) checkpoint() (store.Stats, error) {
+	if s.wal == nil {
+		return store.Stats{}, errNotDurable
+	}
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	// regMu spans the cut and the metadata copy: a registration is
+	// either in both the shard blobs and the subspace list, or in
+	// neither.
+	s.regMu.Lock()
+	cs, err := s.eng.CheckpointState()
+	var metas []store.SubspaceMeta
+	if err == nil {
+		metas = append(metas, s.subMeta...)
+	}
+	s.regMu.Unlock()
+	if err != nil {
+		return store.Stats{}, err
+	}
+	err = s.wal.WriteCheckpoint(&store.Checkpoint{
+		LSN:       cs.LSN,
+		Next:      cs.Next,
+		Rows:      cs.Rows,
+		Absorbs:   uint64(cs.Absorbs),
+		Subspaces: metas,
+		Shards:    cs.Shards,
+	})
+	if err != nil {
+		return store.Stats{}, err
+	}
+	s.lastCkptRows = cs.Rows
+	s.lastCkptTime = time.Now()
+	return s.wal.Stats(), nil
+}
+
+// checkpointDue reports whether the automatic triggers fire: enough
+// new rows since the last cut, or enough time with any new records at
+// all. Holding ckptMu keeps the last-cut bookkeeping stable.
+func (s *server) checkpointDue(rowsTrigger int64, interval time.Duration) bool {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	stats := s.wal.Stats()
+	if stats.LSN == stats.CheckpointLSN && stats.Checkpoints > 0 {
+		return false // nothing new since the last cut
+	}
+	if rowsTrigger > 0 && s.eng.Rows()-s.lastCkptRows >= rowsTrigger {
+		return true
+	}
+	return interval > 0 && time.Since(s.lastCkptTime) >= interval && stats.LSN > stats.CheckpointLSN
+}
+
+// checkpointLoop is the automatic checkpointer: a coarse 1-second
+// poll of the cheap trigger predicate, cutting a checkpoint when it
+// fires. It exits with the serve context; the shutdown path then cuts
+// the final checkpoint itself.
+func (s *server) checkpointLoop(ctx context.Context, rowsTrigger int64, interval time.Duration) {
+	if rowsTrigger <= 0 && interval <= 0 {
+		return
+	}
+	tick := time.NewTicker(time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			if !s.checkpointDue(rowsTrigger, interval) {
+				continue
+			}
+			if stats, err := s.checkpoint(); err != nil {
+				log.Printf("projfreqd: automatic checkpoint failed: %v", err)
+			} else {
+				log.Printf("projfreqd: checkpoint at LSN %d (%d segments, %d log bytes)",
+					stats.CheckpointLSN, stats.Segments, stats.LogBytes)
+			}
+		}
+	}
+}
+
+// checkpointResponse is the POST /v1/admin/checkpoint body: the
+// store's shape after the cut.
+type checkpointResponse struct {
+	CheckpointLSN uint64 `json:"checkpoint_lsn"`
+	Rows          int64  `json:"rows"`
+	Segments      int    `json:"segments"`
+	LogBytes      int64  `json:"log_bytes"`
+	Checkpoints   int    `json:"checkpoints"`
+}
+
+// handleAdminCheckpoint cuts a checkpoint on demand. 409 when the
+// daemon runs without -data-dir (there is nothing to checkpoint).
+func (s *server) handleAdminCheckpoint(w http.ResponseWriter, r *http.Request) {
+	stats, err := s.checkpoint()
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, errNotDurable) {
+			status = http.StatusConflict
+		}
+		httpError(w, status, err)
+		return
+	}
+	writeJSON(w, checkpointResponse{
+		CheckpointLSN: stats.CheckpointLSN,
+		Rows:          s.eng.Rows(),
+		Segments:      stats.Segments,
+		LogBytes:      stats.LogBytes,
+		Checkpoints:   stats.Checkpoints,
+	})
+}

@@ -1,0 +1,520 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/store"
+	"repro/internal/words"
+)
+
+// TestMain doubles as the daemon entry point for the kill-and-recover
+// test: when PROJFREQD_CHILD_ARGS is set, the test binary runs the
+// real daemon main loop (run()) with those flags instead of the test
+// suite — so the SIGKILL in TestDaemonKillAndRecover lands on a real
+// process with a real signal handler, listener, and WAL.
+func TestMain(m *testing.M) {
+	if args := os.Getenv("PROJFREQD_CHILD_ARGS"); args != "" {
+		flag.CommandLine = flag.NewFlagSet("projfreqd", flag.ExitOnError)
+		os.Args = append([]string{"projfreqd"}, strings.Fields(args)...)
+		if err := run(); err != nil {
+			fmt.Fprintln(os.Stderr, "projfreqd child:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// startDurableDaemon builds the in-process durable daemon stack the
+// way run() does: store, engine teeing into it, server, recovery.
+func startDurableDaemon(t *testing.T, dir, kind string, d, q int, seed uint64) (*httptest.Server, *server) {
+	t.Helper()
+	wal, err := store.Open(store.Options{Dir: dir, Dim: d, Alphabet: q, Fsync: store.FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.NewSharded(func(shard int) (core.Summary, error) {
+		return buildSummary(kind, d, q, 0.25, 0.05, 0.3, seed, shard)
+	}, engine.Config{Shards: 2, Log: wal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(eng, standardSubspaceBuilder(kind, d, q, 0.25, 0.05, 0.3, seed))
+	srv.wal = wal
+	if err := srv.recover(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		wal.Close()
+		eng.Close()
+	})
+	return ts, srv
+}
+
+// getBlob GETs a URL and returns status and body.
+func getBlob(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestDurableDaemonRecoversAllMutationKinds drives every durable
+// mutation through HTTP — subspace registrations, observed batches,
+// a pushed summary, an admin checkpoint mid-stream — then reopens the
+// directory in a fresh daemon and checks the recovered state answers
+// byte-identically.
+func TestDurableDaemonRecoversAllMutationKinds(t *testing.T) {
+	const d, q, seed = 5, 3, 11
+	dir := t.TempDir()
+	ts, _ := startDurableDaemon(t, dir, "exact", d, q, seed)
+
+	// Register subspaces before ingestion (one survives via the WAL
+	// only, one via checkpoint metadata after the admin checkpoint).
+	if resp, body := postJSON(t, ts.URL+"/v1/subspaces", registerSubspaceRequest{Cols: []int{0, 1}}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("register: %d %s", resp.StatusCode, body)
+	}
+	if resp, body := postJSON(t, ts.URL+"/v1/subspaces", registerSubspaceRequest{Cols: []int{2, 3}, Summary: "registered"}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("register: %d %s", resp.StatusCode, body)
+	}
+	rows := func(salt, n int) [][]uint16 {
+		out := make([][]uint16, n)
+		for i := range out {
+			row := make([]uint16, d)
+			for j := range row {
+				row[j] = uint16((i*salt + j) % q)
+			}
+			out[i] = row
+		}
+		return out
+	}
+	if resp, body := postJSON(t, ts.URL+"/v1/observe", observeRequest{Rows: rows(3, 40)}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("observe: %d %s", resp.StatusCode, body)
+	}
+	// Checkpoint mid-stream, then keep mutating: recovery must combine
+	// the checkpoint with the WAL tail.
+	if status, body := func() (int, []byte) {
+		resp, err := http.Post(ts.URL+"/v1/admin/checkpoint", "application/json", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, b
+	}(); status != http.StatusOK {
+		t.Fatalf("admin checkpoint: %d %s", status, body)
+	}
+	if resp, body := postJSON(t, ts.URL+"/v1/observe", observeRequest{Rows: rows(7, 25)}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("observe: %d %s", resp.StatusCode, body)
+	}
+	// A push: the daemon exports a registry blob, so the donor must be
+	// a matching registry — easiest is another daemon with the same
+	// registrations.
+	tsDonor, _ := startDaemon(t, "exact", d, q, seed)
+	if resp, body := postJSON(t, tsDonor.URL+"/v1/subspaces", registerSubspaceRequest{Cols: []int{0, 1}}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("donor register: %d %s", resp.StatusCode, body)
+	}
+	if resp, body := postJSON(t, tsDonor.URL+"/v1/subspaces", registerSubspaceRequest{Cols: []int{2, 3}, Summary: "registered"}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("donor register: %d %s", resp.StatusCode, body)
+	}
+	if resp, body := postJSON(t, tsDonor.URL+"/v1/observe", observeRequest{Rows: rows(5, 15)}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("donor observe: %d %s", resp.StatusCode, body)
+	}
+	status, donorBlob := getBlob(t, tsDonor.URL+"/v1/summary")
+	if status != http.StatusOK {
+		t.Fatalf("donor summary: %d", status)
+	}
+	respPush, err := http.Post(ts.URL+"/v1/push", "application/octet-stream", bytes.NewReader(donorBlob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushBody, _ := io.ReadAll(respPush.Body)
+	respPush.Body.Close()
+	if respPush.StatusCode != http.StatusOK {
+		t.Fatalf("push: %d %s", respPush.StatusCode, pushBody)
+	}
+
+	status, want := getBlob(t, ts.URL+"/v1/summary")
+	if status != http.StatusOK {
+		t.Fatal("summary failed")
+	}
+	var statsBefore statsResponse
+	if st, body := getBlob(t, ts.URL+"/v1/stats"); st != http.StatusOK {
+		t.Fatal("stats failed")
+	} else if err := json.Unmarshal(body, &statsBefore); err != nil {
+		t.Fatal(err)
+	}
+	if statsBefore.Store == nil || statsBefore.Store.Checkpoints == 0 || statsBefore.Store.CheckpointLSN == 0 {
+		t.Fatalf("store stats missing: %+v", statsBefore.Store)
+	}
+	if statsBefore.Rows != 80 {
+		t.Fatalf("rows %d, want 80", statsBefore.Rows)
+	}
+
+	// "Crash": drop the whole stack without a shutdown checkpoint,
+	// then recover a fresh one over the same directory.
+	ts.CloseClientConnections()
+	ts.Close()
+
+	ts2, srv2 := startDurableDaemon(t, dir, "exact", d, q, seed)
+	if got := srv2.eng.Rows(); got != 80 {
+		t.Fatalf("recovered rows %d, want 80", got)
+	}
+	if srv2.eng.NumSubspaces() != 2 {
+		t.Fatalf("recovered %d subspaces", srv2.eng.NumSubspaces())
+	}
+	status, got := getBlob(t, ts2.URL+"/v1/summary")
+	if status != http.StatusOK {
+		t.Fatal("recovered summary failed")
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("recovered summary blob differs: %d vs %d bytes", len(got), len(want))
+	}
+	// Every query class still answers identically through the planner.
+	respQ, qbody := postJSON(t, ts2.URL+"/v1/query", queryRequest{Queries: []querySpec{
+		{Kind: "f0", Cols: []int{0, 1}},
+		{Kind: "f0", Cols: []int{2, 3}},
+		{Kind: "freq", Cols: []int{0, 4}, Pattern: []uint16{1, 2}},
+		{Kind: "fp", Cols: []int{1, 2}, P: 2},
+	}})
+	if respQ.StatusCode != http.StatusOK {
+		t.Fatalf("recovered query: %d %s", respQ.StatusCode, qbody)
+	}
+	var qresp queryResponse
+	if err := json.Unmarshal(qbody, &qresp); err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range qresp.Results {
+		if res.Error != "" {
+			t.Fatalf("recovered query %d: %s", i, res.Error)
+		}
+	}
+	if qresp.Results[0].Route != "subspace{0,1}/5" {
+		t.Fatalf("recovered subspace not routed: %+v", qresp.Results[0])
+	}
+	// Registration after recovery stays refused — the absorb/row
+	// clocks were restored.
+	if resp, _ := postJSON(t, ts2.URL+"/v1/subspaces", registerSubspaceRequest{Cols: []int{4}}); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("late registration after recovery: %d", resp.StatusCode)
+	}
+}
+
+func TestSummaryETagSkipsRemarshal(t *testing.T) {
+	const d, q, seed = 5, 2, 3
+	ts, _ := startDaemon(t, "exact", d, q, seed)
+	if resp, body := postJSON(t, ts.URL+"/v1/observe", observeRequest{Rows: [][]uint16{{0, 1, 0, 1, 0}, {1, 1, 1, 1, 1}}}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("observe: %d %s", resp.StatusCode, body)
+	}
+	resp, err := http.Get(ts.URL + "/v1/summary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	tag := resp.Header.Get("ETag")
+	if tag == "" || len(blob) == 0 {
+		t.Fatalf("first GET: tag %q, %d bytes", tag, len(blob))
+	}
+
+	// Repeat GET with no new rows: 304, no body, same tag.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/summary", nil)
+	req.Header.Set("If-None-Match", tag)
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body2, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotModified || len(body2) != 0 {
+		t.Fatalf("conditional GET: %d, %d bytes", resp2.StatusCode, len(body2))
+	}
+	if resp2.Header.Get("ETag") != tag {
+		t.Fatalf("304 tag %q != %q", resp2.Header.Get("ETag"), tag)
+	}
+	// The weak/list forms match too.
+	req3, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/summary", nil)
+	req3.Header.Set("If-None-Match", `"other", W/`+tag)
+	resp3, err := http.DefaultClient.Do(req3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp3.Body)
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusNotModified {
+		t.Fatalf("list-form conditional GET: %d", resp3.StatusCode)
+	}
+
+	// New rows invalidate the tag: the same If-None-Match now yields a
+	// fresh 200 with a different tag.
+	if resp, body := postJSON(t, ts.URL+"/v1/observe", observeRequest{Rows: [][]uint16{{1, 0, 1, 0, 1}}}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("observe: %d %s", resp.StatusCode, body)
+	}
+	req4, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/summary", nil)
+	req4.Header.Set("If-None-Match", tag)
+	resp4, err := http.DefaultClient.Do(req4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob4, _ := io.ReadAll(resp4.Body)
+	resp4.Body.Close()
+	if resp4.StatusCode != http.StatusOK || len(blob4) == 0 {
+		t.Fatalf("post-ingest conditional GET: %d, %d bytes", resp4.StatusCode, len(blob4))
+	}
+	if resp4.Header.Get("ETag") == tag {
+		t.Fatal("tag did not change with new rows")
+	}
+	dec, err := core.UnmarshalSummary(blob4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Rows() != 3 {
+		t.Fatalf("fresh blob has %d rows", dec.Rows())
+	}
+}
+
+func TestAdminCheckpointWithoutDataDirConflicts(t *testing.T) {
+	ts, _ := startDaemon(t, "exact", 5, 2, 3)
+	resp, err := http.Post(ts.URL+"/v1/admin/checkpoint", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("checkpoint without -data-dir: %d", resp.StatusCode)
+	}
+}
+
+// --- kill -9 and recover ---
+
+// freeAddr reserves a localhost port long enough to hand it to a
+// child process.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// startChildDaemon execs this test binary as a real projfreqd process
+// (see TestMain) and waits until it serves /v1/stats.
+func startChildDaemon(t *testing.T, addr, dir string, extra string) *exec.Cmd {
+	t.Helper()
+	args := fmt.Sprintf("-addr %s -summary exact -d 5 -q 3 -shards 2 -data-dir %s -fsync always %s", addr, dir, extra)
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), "PROJFREQD_CHILD_ARGS="+args)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + addr + "/v1/stats")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return cmd
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	cmd.Process.Kill()
+	cmd.Wait()
+	t.Fatal("child daemon did not come up")
+	return nil
+}
+
+// killBatch builds the deterministic i-th batch of the kill test.
+func killBatch(i int) [][]uint16 {
+	const d, q, rows = 5, 3, 10
+	out := make([][]uint16, rows)
+	for r := range out {
+		row := make([]uint16, d)
+		for j := range row {
+			row[j] = uint16((i*rows + r + j*(i+1)) % q)
+		}
+		out[r] = row
+	}
+	return out
+}
+
+// TestDaemonKillAndRecover is the crash-recovery property test the
+// subsystem is pinned by: a real daemon process ingests batches with
+// -fsync always, takes a mid-stream checkpoint, is SIGKILLed while
+// writes are in flight, gets its WAL tail torn for good measure, and
+// restarts — after which it must serve exactly some prefix of the
+// stream: every acknowledged batch present, whole batches only, and
+// the exported summary byte-identical to an uninterrupted engine fed
+// the same prefix.
+func TestDaemonKillAndRecover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real daemon processes")
+	}
+	dir := t.TempDir()
+	addr := freeAddr(t)
+	child := startChildDaemon(t, addr, dir, "-checkpoint-rows 0 -checkpoint-interval 0")
+
+	var acked atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			blob, err := json.Marshal(observeRequest{Rows: killBatch(i)})
+			if err != nil {
+				return
+			}
+			resp, err := http.Post("http://"+addr+"/v1/observe", "application/json", bytes.NewReader(blob))
+			if err != nil {
+				return // the kill landed
+			}
+			ok := resp.StatusCode == http.StatusOK
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if !ok {
+				return
+			}
+			acked.Add(1)
+		}
+	}()
+
+	// Cut a checkpoint once the stream is rolling, then let it roll on.
+	for acked.Load() < 8 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	respC, err := http.Post("http://"+addr+"/v1/admin/checkpoint", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, respC.Body)
+	respC.Body.Close()
+	if respC.StatusCode != http.StatusOK {
+		t.Fatalf("mid-stream checkpoint: %d", respC.StatusCode)
+	}
+	for acked.Load() < 20 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	// kill -9, mid-stream: no drain, no shutdown checkpoint.
+	if err := child.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	child.Wait()
+	<-done
+	ackedBatches := acked.Load()
+
+	// Tear the WAL tail the way a crash mid-append would: recovery
+	// must shrug it off.
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no WAL segments: %v %v", segs, err)
+	}
+	f, err := os.OpenFile(segs[len(segs)-1], os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x99, 0x01, 0x00, 0x00, 0x00, 0xaa}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	addr2 := freeAddr(t)
+	child2 := startChildDaemon(t, addr2, dir, "")
+	defer func() {
+		child2.Process.Kill()
+		child2.Wait()
+	}()
+	var stats statsResponse
+	if status, body := getBlob(t, "http://"+addr2+"/v1/stats"); status != http.StatusOK {
+		t.Fatalf("recovered stats: %d", status)
+	} else if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	const batchRows = 10
+	if stats.Rows%batchRows != 0 {
+		t.Fatalf("recovered %d rows: not whole batches", stats.Rows)
+	}
+	k := stats.Rows / batchRows
+	if k < ackedBatches {
+		t.Fatalf("recovered %d batches, %d were acknowledged with -fsync always", k, ackedBatches)
+	}
+	if k > ackedBatches+1 {
+		t.Fatalf("recovered %d batches, only %d were ever sent", k, ackedBatches+1)
+	}
+
+	status, got := getBlob(t, "http://"+addr2+"/v1/summary")
+	if status != http.StatusOK {
+		t.Fatal("recovered summary failed")
+	}
+	// The uninterrupted reference: the same engine configuration fed
+	// the same accepted prefix, in process.
+	ref, err := engine.NewSharded(func(shard int) (core.Summary, error) {
+		return buildSummary("exact", 5, 3, 0.05, 0.01, 0.3, 1, shard)
+	}, engine.Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	for i := int64(0); i < k; i++ {
+		b := words.NewBatch(5, batchRows)
+		for _, row := range killBatch(int(i)) {
+			b.Append(words.Word(row))
+		}
+		ref.ObserveBatch(b)
+	}
+	want, err := ref.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("recovered summary differs from clean run over the same %d batches (%d vs %d bytes)", k, len(got), len(want))
+	}
+}
+
+func TestWideDaemonSubspaceRegistration(t *testing.T) {
+	// d=65 exceeds the 64-bit column-mask format the durable
+	// registration record uses. An in-memory daemon must keep working
+	// (no mask is ever built); a durable one must refuse cleanly
+	// instead of panicking in ColumnSet.Mask.
+	const d, q, seed = 65, 2, 3
+	ts, _ := startDaemon(t, "exact", d, q, seed)
+	if resp, body := postJSON(t, ts.URL+"/v1/subspaces", registerSubspaceRequest{Cols: []int{0, 64}}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("in-memory wide registration: %d %s", resp.StatusCode, body)
+	}
+	tsD, _ := startDurableDaemon(t, t.TempDir(), "exact", d, q, seed)
+	resp, body := postJSON(t, tsD.URL+"/v1/subspaces", registerSubspaceRequest{Cols: []int{0, 64}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("durable wide registration: %d %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "64-bit column masks") {
+		t.Fatalf("unhelpful refusal: %s", body)
+	}
+}

@@ -12,10 +12,22 @@
 // and reports the chosen route per result. See the "Querying
 // subspaces" cookbook in the README for curl examples.
 //
+// With -data-dir the daemon is durable: every accepted observe, push,
+// and subspace registration is written to a write-ahead log before it
+// is applied (fsync policy via -fsync), checkpoints are cut
+// periodically (-checkpoint-rows / -checkpoint-interval), on demand
+// (POST /v1/admin/checkpoint), and on graceful shutdown, and a
+// restart recovers the full pre-crash state — the newest checkpoint
+// plus a replay of the log records after its cut. /v1/stats reports
+// the store's segments, bytes, and last checkpoint. See the
+// "durability path" section of ARCHITECTURE.md and the README ops
+// cookbook.
+//
 // Usage:
 //
 //	projfreqd -addr :8080 -summary net -d 8 -q 8 -alpha 0.3 -seed 7
 //	projfreqd -summary sample -d 12 -q 2 -eps 0.02 -shards 8
+//	projfreqd -summary exact -d 8 -q 8 -shards 4 -data-dir /var/lib/projfreq -fsync always
 //
 // Remote writers must build their summaries with the same shape and
 // configuration the daemon was started with (for Net/Subset summaries
@@ -34,18 +46,22 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/registry"
+	"repro/internal/store"
 	"repro/internal/words"
 )
 
@@ -65,30 +81,58 @@ func main() {
 // stops the engine, instead of os.Exit skipping both.
 func run() error {
 	var (
-		addr   = flag.String("addr", ":8080", "listen address")
-		kind   = flag.String("summary", "exact", "summary kind: exact | sample | net")
-		d      = flag.Int("d", 8, "number of columns")
-		q      = flag.Int("q", 2, "alphabet size Q")
-		eps    = flag.Float64("eps", 0.05, "accuracy parameter")
-		delta  = flag.Float64("delta", 0.01, "failure probability (sample summary)")
-		alpha  = flag.Float64("alpha", 0.3, "alpha-net parameter (net summary)")
-		seed   = flag.Uint64("seed", 1, "random seed")
-		shards = flag.Int("shards", 0, "ingest shard count (0 = GOMAXPROCS)")
+		addr     = flag.String("addr", ":8080", "listen address")
+		kind     = flag.String("summary", "exact", "summary kind: exact | sample | net")
+		d        = flag.Int("d", 8, "number of columns")
+		q        = flag.Int("q", 2, "alphabet size Q")
+		eps      = flag.Float64("eps", 0.05, "accuracy parameter")
+		delta    = flag.Float64("delta", 0.01, "failure probability (sample summary)")
+		alpha    = flag.Float64("alpha", 0.3, "alpha-net parameter (net summary)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		shards   = flag.Int("shards", 0, "ingest shard count (0 = GOMAXPROCS)")
+		dataDir  = flag.String("data-dir", "", "durability directory (WAL + checkpoints); empty = in-memory only")
+		fsyncStr = flag.String("fsync", "interval", "WAL fsync policy: always | interval | never")
+		ckRows   = flag.Int64("checkpoint-rows", 1<<20, "checkpoint after this many new rows (0 disables the row trigger)")
+		ckEvery  = flag.Duration("checkpoint-interval", 5*time.Minute, "checkpoint at least this often while data arrives (0 disables the timer)")
 	)
 	flag.Parse()
 
+	var wal *store.Store
+	if *dataDir != "" {
+		policy, err := store.ParsePolicy(*fsyncStr)
+		if err != nil {
+			return err
+		}
+		wal, err = store.Open(store.Options{Dir: *dataDir, Dim: *d, Alphabet: *q, Fsync: policy})
+		if err != nil {
+			return err
+		}
+		defer wal.Close()
+	}
+
 	eng, err := engine.NewSharded(func(shard int) (core.Summary, error) {
 		return buildSummary(*kind, *d, *q, *eps, *delta, *alpha, *seed, shard)
-	}, engine.Config{Shards: *shards})
+	}, engine.Config{Shards: *shards, Log: wal})
 	if err != nil {
 		return err
+	}
+
+	srv := newServer(eng, standardSubspaceBuilder(*kind, *d, *q, *eps, *delta, *alpha, *seed))
+	srv.wal = wal
+	if wal != nil {
+		// Recovery must finish before the listener opens: replayed
+		// records route through the same code as live ones, and mixing
+		// the two would interleave the log.
+		if err := srv.recover(); err != nil {
+			return fmt.Errorf("recovering %s: %w", *dataDir, err)
+		}
 	}
 
 	// Explicit server timeouts: MaxBytesReader bounds body size but
 	// not read duration, so stalled clients must not pin goroutines.
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(eng, standardSubspaceBuilder(*kind, *d, *q, *eps, *delta, *alpha, *seed)),
+		Handler:           srv,
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       5 * time.Minute,
 		IdleTimeout:       2 * time.Minute,
@@ -96,6 +140,9 @@ func run() error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if wal != nil {
+		go srv.checkpointLoop(ctx, *ckRows, *ckEvery)
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	log.Printf("projfreqd: serving %s on %s", eng.Name(), *addr)
@@ -105,28 +152,41 @@ func run() error {
 		// Listener failure (typically the bind at startup, when the
 		// drain below is a no-op). Handlers on already-accepted
 		// connections may still be running, so drain before closing.
-		_ = drainThenClose(httpSrv, eng)
+		_ = drainThenClose(httpSrv, srv)
 		return err
 	case <-ctx.Done():
 		stop() // a second signal kills immediately
 		log.Printf("projfreqd: signal received, draining connections")
-		return drainThenClose(httpSrv, eng)
+		return drainThenClose(httpSrv, srv)
 	}
 }
 
-// drainThenClose waits for in-flight requests to finish, then stops
-// the engine. The order is load-bearing: handlers call into the
-// engine, and Sharded.Close must not run concurrently with
-// Observe/ObserveBatch — so if the drain budget expires with
-// handlers still live, the engine is deliberately left for process
-// exit rather than closed under them.
-func drainThenClose(srv *http.Server, eng *engine.Sharded) error {
+// drainThenClose waits for in-flight requests to finish, cuts a final
+// checkpoint (when durable), then stops the engine. The order is
+// load-bearing: handlers call into the engine, and Sharded.Close must
+// not run concurrently with Observe/ObserveBatch — so if the drain
+// budget expires with handlers still live, the engine (and the final
+// checkpoint, whose cut would race those handlers) is deliberately
+// left for process exit rather than closed under them; the WAL then
+// carries the recovery on next boot.
+func drainThenClose(httpSrv *http.Server, srv *server) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
-	if err := srv.Shutdown(ctx); err != nil {
+	if err := httpSrv.Shutdown(ctx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}
-	eng.Close()
+	if srv.wal != nil {
+		if stats, err := srv.checkpoint(); err != nil {
+			log.Printf("projfreqd: shutdown checkpoint failed (the WAL still covers recovery): %v", err)
+		} else {
+			log.Printf("projfreqd: shutdown checkpoint at LSN %d (%d segments, %d log bytes)",
+				stats.CheckpointLSN, stats.Segments, stats.LogBytes)
+		}
+		if err := srv.wal.Close(); err != nil {
+			log.Printf("projfreqd: closing store: %v", err)
+		}
+	}
+	srv.eng.Close()
 	return nil
 }
 
@@ -165,17 +225,47 @@ func standardSubspaceBuilder(kind string, d, q int, eps, delta, alpha float64, s
 	}
 }
 
-// server is the HTTP face of one sharded engine.
+// server is the HTTP face of one sharded engine, optionally backed by
+// a durability store (wal != nil when the daemon runs with -data-dir).
 type server struct {
 	eng      *engine.Sharded
 	mux      *http.ServeMux
 	maxBody  int64
 	subBuild subspaceBuilder
+
+	// wal is the WAL + checkpoint store; the engine tees ingestion
+	// into it (engine.Config.Log), the server logs subspace
+	// registrations and cuts checkpoints.
+	wal *store.Store
+	// regMu serializes subspace registration against checkpoint
+	// metadata capture, so a checkpoint's shard blobs and its subspace
+	// list always describe the same registry structure. subMeta is the
+	// durable registration list, in registration order.
+	regMu   sync.Mutex
+	subMeta []store.SubspaceMeta
+	// ckptMu serializes checkpoints (admin-triggered, timer-triggered,
+	// and the shutdown one); lastCkptRows and lastCkptTime drive the
+	// automatic triggers.
+	ckptMu       sync.Mutex
+	lastCkptRows int64
+	lastCkptTime time.Time
+	// cfgTag fingerprints the daemon configuration for the summary
+	// ETag (see summaryETag).
+	cfgTag uint32
 }
 
 // newServer wires the endpoint routes around the engine.
 func newServer(eng *engine.Sharded, subBuild subspaceBuilder) *server {
 	s := &server{eng: eng, mux: http.NewServeMux(), maxBody: defaultMaxBody, subBuild: subBuild}
+	// The fingerprint mixes a boot nonce in with the configuration:
+	// the state counters (rows/absorbs/subspaces) are monotonic only
+	// within one process, so without it a restarted daemon whose
+	// counters re-climb to old values over different data would honour
+	// a predecessor's tag with a false 304. The cost is one full
+	// refetch per client after every restart.
+	h := fnv.New32a()
+	fmt.Fprintf(h, "%s|%d|%d|%d", eng.Name(), eng.Dim(), eng.Alphabet(), time.Now().UnixNano())
+	s.cfgTag = h.Sum32()
 	s.mux.HandleFunc("POST /v1/observe", s.handleObserve)
 	s.mux.HandleFunc("POST /v1/push", s.handlePush)
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
@@ -183,6 +273,7 @@ func newServer(eng *engine.Sharded, subBuild subspaceBuilder) *server {
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/subspaces", s.handleSubspacesList)
 	s.mux.HandleFunc("POST /v1/subspaces", s.handleSubspacesRegister)
+	s.mux.HandleFunc("POST /v1/admin/checkpoint", s.handleAdminCheckpoint)
 	return s
 }
 
@@ -239,8 +330,13 @@ func (s *server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	}
 	// Validation happened during decode, so a bad batch changes
 	// nothing; a good one enters through the engine's chunked batch
-	// path — one channel send per chunk, not per row.
-	s.eng.ObserveBatch(batch)
+	// path — one channel send per chunk, not per row. The durable
+	// variant appends to the WAL first; if that fails nothing is
+	// ingested and the client must not treat the rows as accepted.
+	if err := s.eng.ObserveBatchDurable(batch); err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
 	writeJSON(w, observeResponse{Accepted: batch.Len(), Rows: s.eng.Rows()})
 }
 
@@ -396,12 +492,49 @@ func (s *server) handlePush(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, pushResponse{RowsMerged: sum.Rows(), Rows: s.eng.Rows()})
 }
 
+// summaryETag versions the exported summary: a fingerprint of the
+// daemon's configuration (engine name — which carries the summary
+// kind and shard count — and shape), the wire version, the
+// accepted-row clock, the absorb count (a pushed blob can change
+// answers while claiming zero rows), and the subspace count. Any
+// mutation the daemon accepts moves one of the counters, and the
+// fingerprint keeps a daemon restarted with different flags from
+// answering 304 to a tag its predecessor minted for a different
+// summary. The tag is computed before the state is read, so a tag can
+// under- but never over-represent the blob it accompanies: a 304
+// client's cached blob is never staler than the state its tag names.
+func (s *server) summaryETag() string {
+	return fmt.Sprintf(`"pfqs-%d-%x-%d-%d-%d"`, core.WireVersion, s.cfgTag, s.eng.Rows(), s.eng.Absorbs(), s.eng.NumSubspaces())
+}
+
+// etagMatch reports whether an If-None-Match header names tag,
+// handling the comma-separated list and weak-validator forms.
+func etagMatch(header, tag string) bool {
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimSpace(part)
+		part = strings.TrimPrefix(part, "W/")
+		if part == tag || part == "*" {
+			return true
+		}
+	}
+	return false
+}
+
 func (s *server) handleSummary(w http.ResponseWriter, r *http.Request) {
+	// The conditional probe runs before the expensive part: a repeat
+	// GET with no new state skips the quiesce-and-marshal entirely.
+	tag := s.summaryETag()
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatch(inm, tag) {
+		w.Header().Set("ETag", tag)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
 	blob, err := s.eng.MarshalBinary()
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
+	w.Header().Set("ETag", tag)
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", fmt.Sprint(len(blob)))
 	_, _ = w.Write(blob)
@@ -457,17 +590,42 @@ func (s *server) handleSubspacesRegister(w http.ResponseWriter, r *http.Request)
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
+	// The durable registration record stores the column set as a
+	// 64-bit mask (words.ColumnSet.Mask, which panics beyond d=64), so
+	// a durable daemon must refuse what it cannot make durable.
+	// In-memory daemons carry no such limit.
+	if s.wal != nil && s.eng.Dim() > 64 {
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf("subspace registration with -data-dir requires d <= 64 (registrations ride the WAL as 64-bit column masks); daemon has d=%d", s.eng.Dim()))
+		return
+	}
 	factory, err := s.subBuild(c, req.Summary)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	if err := s.eng.RegisterSubspace(c, factory); err != nil {
+	// regMu spans the registration and its WAL record so a concurrent
+	// checkpoint cannot capture shard blobs and a subspace list that
+	// disagree about this registration; the engine's Logged variant
+	// additionally runs the WAL append under the ingestion lock, so no
+	// concurrently observed row can take a log position between the
+	// registration and its record (replay applies strictly in log
+	// order, and a registration after accepted rows is unapplicable).
+	s.regMu.Lock()
+	err = s.eng.RegisterSubspaceLogged(c, factory, func() error {
+		return s.recordSubspace(c, req.Summary)
+	})
+	s.regMu.Unlock()
+	if err != nil {
 		// Late or repeated registrations conflict with existing state;
-		// everything else is a bad request.
+		// a WAL failure is the server's problem; everything else is a
+		// bad request.
 		status := http.StatusBadRequest
-		if errors.Is(err, engine.ErrRowsAccepted) || errors.Is(err, registry.ErrDuplicateSubspace) {
+		switch {
+		case errors.Is(err, engine.ErrRowsAccepted), errors.Is(err, registry.ErrDuplicateSubspace):
 			status = http.StatusConflict
+		case errors.Is(err, errSubspaceNotLogged):
+			status = http.StatusInternalServerError
 		}
 		httpError(w, status, err)
 		return
@@ -570,20 +728,31 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
+// storeStatsJSON is the durability block of the /v1/stats body,
+// present only when the daemon runs with -data-dir.
+type storeStatsJSON struct {
+	Segments      int    `json:"segments"`
+	LogBytes      int64  `json:"log_bytes"`
+	LSN           uint64 `json:"lsn"`
+	Checkpoints   int    `json:"checkpoints"`
+	CheckpointLSN uint64 `json:"checkpoint_lsn"`
+}
+
 // statsResponse is the /v1/stats body.
 type statsResponse struct {
-	Name      string `json:"name"`
-	Dim       int    `json:"dim"`
-	Alphabet  int    `json:"alphabet"`
-	Rows      int64  `json:"rows"`
-	Shards    int    `json:"shards"`
-	Subspaces int    `json:"subspaces"`
-	SizeBytes int    `json:"size_bytes"`
-	Wire      int    `json:"wire_version"`
+	Name      string          `json:"name"`
+	Dim       int             `json:"dim"`
+	Alphabet  int             `json:"alphabet"`
+	Rows      int64           `json:"rows"`
+	Shards    int             `json:"shards"`
+	Subspaces int             `json:"subspaces"`
+	SizeBytes int             `json:"size_bytes"`
+	Wire      int             `json:"wire_version"`
+	Store     *storeStatsJSON `json:"store,omitempty"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, statsResponse{
+	resp := statsResponse{
 		Name:      s.eng.Name(),
 		Dim:       s.eng.Dim(),
 		Alphabet:  s.eng.Alphabet(),
@@ -592,5 +761,16 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Subspaces: s.eng.NumSubspaces(),
 		SizeBytes: s.eng.SizeBytes(),
 		Wire:      core.WireVersion,
-	})
+	}
+	if s.wal != nil {
+		st := s.wal.Stats()
+		resp.Store = &storeStatsJSON{
+			Segments:      st.Segments,
+			LogBytes:      st.LogBytes,
+			LSN:           st.LSN,
+			Checkpoints:   st.Checkpoints,
+			CheckpointLSN: st.CheckpointLSN,
+		}
+	}
+	writeJSON(w, resp)
 }

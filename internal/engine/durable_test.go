@@ -1,0 +1,384 @@
+package engine
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/store"
+	"repro/internal/words"
+)
+
+// openLog opens a WAL store over dir for the test shape.
+func openLog(t *testing.T, dir string, d, q int) *store.Store {
+	t.Helper()
+	st, err := store.Open(store.Options{Dir: dir, Dim: d, Alphabet: q, Fsync: store.FsyncNever, SegmentBytes: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// recoverEngine rebuilds an engine from dir the way the daemon boots:
+// open the store, construct the engine over it, restore the newest
+// checkpoint, replay the tail. The caller owns Close on both.
+func recoverEngine(t *testing.T, dir string, factory Factory, cfg Config, d, q int) (*Sharded, *store.Store) {
+	t.Helper()
+	st := openLog(t, dir, d, q)
+	cfg.Log = st
+	eng, err := NewSharded(factory, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = st.Recover(func(ck *store.Checkpoint) error {
+		return eng.Restore(CheckpointState{Next: ck.Next, Rows: ck.Rows, Absorbs: int(ck.Absorbs), Shards: ck.Shards})
+	}, func(rec store.Record) error {
+		switch rec.Kind {
+		case store.RecordBatch:
+			return eng.ReplayBatch(words.BatchOf(d, rec.Rows))
+		case store.RecordSummary:
+			sum, err := core.UnmarshalSummary(rec.Blob)
+			if err != nil {
+				return err
+			}
+			return eng.ReplayAbsorb(sum)
+		default:
+			return fmt.Errorf("unexpected record kind %v", rec.Kind)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, st
+}
+
+// engineBytes marshals the merged snapshot; exact summaries make this
+// sensitive to shard assignment and per-shard row order, so byte
+// equality proves recovery reproduced the exact pre-crash state.
+func engineBytes(t *testing.T, eng *Sharded) []byte {
+	t.Helper()
+	blob, err := eng.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+func TestDurableReplayReproducesEngineBitForBit(t *testing.T) {
+	const d, q = 6, 4
+	dir := t.TempDir()
+	cfg := Config{Shards: 3, BatchChunk: 4, Queue: 8}
+	log := openLog(t, dir, d, q)
+	cfgA := cfg
+	cfgA.Log = log
+	eng, err := NewSharded(exactFactory(d, q), cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A mixed serial stream: single rows, batches (crossing the chunk
+	// size), and an absorbed donor in the middle.
+	row := make(words.Word, d)
+	for i := 0; i < 40; i++ {
+		for j := range row {
+			row[j] = uint16((i + j) % q)
+		}
+		eng.Observe(row)
+	}
+	donor, err := core.NewExact(d, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 17; i++ {
+		for j := range row {
+			row[j] = uint16((i * (j + 3)) % q)
+		}
+		donor.Observe(row)
+	}
+	if err := eng.Absorb(donor); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 4, 9, 30} {
+		b := words.NewBatch(d, n)
+		for i := 0; i < n; i++ {
+			r := b.AppendRow()
+			for j := range r {
+				r[j] = uint16((i*n + j) % q)
+			}
+		}
+		eng.ObserveBatch(b)
+	}
+	want := engineBytes(t, eng)
+	wantRows := eng.Rows()
+	eng.Close()
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	eng2, log2 := recoverEngine(t, dir, exactFactory(d, q), cfg, d, q)
+	defer eng2.Close()
+	defer log2.Close()
+	if eng2.Rows() != wantRows {
+		t.Fatalf("recovered %d rows, want %d", eng2.Rows(), wantRows)
+	}
+	if got := engineBytes(t, eng2); !bytes.Equal(got, want) {
+		t.Fatalf("recovered snapshot differs: %d vs %d bytes", len(got), len(want))
+	}
+	// The recovered engine keeps ingesting durably: one more row on
+	// each side of a second recovery still matches.
+	eng2.Observe(make(words.Word, d))
+	want2 := engineBytes(t, eng2)
+	eng2.Close()
+	log2.Close()
+	eng3, log3 := recoverEngine(t, dir, exactFactory(d, q), cfg, d, q)
+	defer eng3.Close()
+	defer log3.Close()
+	if got := engineBytes(t, eng3); !bytes.Equal(got, want2) {
+		t.Fatal("second recovery diverged")
+	}
+}
+
+func TestCheckpointRestoreThenReplayMatches(t *testing.T) {
+	const d, q = 5, 3
+	dir := t.TempDir()
+	cfg := Config{Shards: 2, BatchChunk: 3}
+	log := openLog(t, dir, d, q)
+	cfgA := cfg
+	cfgA.Log = log
+	eng, err := NewSharded(exactFactory(d, q), cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed := func(salt, n int) {
+		b := words.NewBatch(d, n)
+		for i := 0; i < n; i++ {
+			r := b.AppendRow()
+			for j := range r {
+				r[j] = uint16((i*salt + j) % q)
+			}
+		}
+		eng.ObserveBatch(b)
+	}
+	feed(2, 20)
+	feed(5, 11)
+	if _, err := eng.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	cs, err := eng.CheckpointState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Rows != 31 || len(cs.Shards) != 2 {
+		t.Fatalf("checkpoint state %+v", cs)
+	}
+	if err := log.WriteCheckpoint(&store.Checkpoint{LSN: cs.LSN, Next: cs.Next, Rows: cs.Rows, Absorbs: uint64(cs.Absorbs), Shards: cs.Shards}); err != nil {
+		t.Fatal(err)
+	}
+	// More ingestion after the cut: recovery must replay exactly this
+	// tail on top of the restored shards.
+	feed(7, 9)
+	want := engineBytes(t, eng)
+	eng.Close()
+	log.Close()
+
+	eng2, log2 := recoverEngine(t, dir, exactFactory(d, q), cfg, d, q)
+	defer eng2.Close()
+	defer log2.Close()
+	if eng2.Rows() != 40 {
+		t.Fatalf("recovered %d rows, want 40", eng2.Rows())
+	}
+	if got := engineBytes(t, eng2); !bytes.Equal(got, want) {
+		t.Fatal("checkpoint + tail replay diverged from the uninterrupted run")
+	}
+}
+
+func TestCheckpointCutExactUnderConcurrentIngest(t *testing.T) {
+	const d, q = 4, 3
+	dir := t.TempDir()
+	cfg := Config{Shards: 3, BatchChunk: 2, Queue: 4}
+	log := openLog(t, dir, d, q)
+	cfgA := cfg
+	cfgA.Log = log
+	eng, err := NewSharded(exactFactory(d, q), cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Writers hammer the engine while checkpoints are cut mid-stream.
+	// Durable ingestion serializes on the log, so whatever interleaving
+	// the cuts land in, restored-state + tail-replay must equal the
+	// final state exactly.
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				b := words.NewBatch(d, 3)
+				for r := 0; r < 3; r++ {
+					row := b.AppendRow()
+					for j := range row {
+						row[j] = uint16((g + i + r + j) % q)
+					}
+				}
+				eng.ObserveBatch(b)
+			}
+		}(g)
+	}
+	for k := 0; k < 5; k++ {
+		cs, err := eng.CheckpointState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := log.WriteCheckpoint(&store.Checkpoint{LSN: cs.LSN, Next: cs.Next, Rows: cs.Rows, Absorbs: uint64(cs.Absorbs), Shards: cs.Shards}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	want := engineBytes(t, eng)
+	if eng.Rows() != 300 {
+		t.Fatalf("engine rows %d", eng.Rows())
+	}
+	eng.Close()
+	log.Close()
+
+	eng2, log2 := recoverEngine(t, dir, exactFactory(d, q), cfg, d, q)
+	defer eng2.Close()
+	defer log2.Close()
+	if eng2.Rows() != 300 {
+		t.Fatalf("recovered rows %d", eng2.Rows())
+	}
+	if got := engineBytes(t, eng2); !bytes.Equal(got, want) {
+		t.Fatal("mid-stream checkpoint cut lost or duplicated records")
+	}
+}
+
+// brokenLog fails every append, for the failure-surface tests.
+type brokenLog struct{ lsn uint64 }
+
+func (b *brokenLog) AppendBatch(*words.Batch) error { return errors.New("disk on fire") }
+func (b *brokenLog) AppendSummary([]byte) error     { return errors.New("disk on fire") }
+func (b *brokenLog) LSN() uint64                    { return b.lsn }
+
+func TestDurableFailureSurfaces(t *testing.T) {
+	const d, q = 4, 3
+	eng, err := NewSharded(exactFactory(d, q), Config{Shards: 2, Log: &brokenLog{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	b := words.NewBatch(d, 2)
+	b.AppendRow()
+	b.AppendRow()
+	// The durable path reports the failure and routes nothing.
+	if err := eng.ObserveBatchDurable(b); err == nil {
+		t.Fatal("append failure must surface")
+	}
+	if eng.Rows() != 0 {
+		t.Fatalf("failed durable ingest accepted %d rows", eng.Rows())
+	}
+	// The void signatures cannot return it, so they panic.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("ObserveBatch with a failing log must panic")
+			}
+		}()
+		eng.ObserveBatch(b)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Observe with a failing log must panic")
+			}
+		}()
+		eng.Observe(make(words.Word, d))
+	}()
+	if eng.Rows() != 0 {
+		t.Fatalf("panicking paths accepted %d rows", eng.Rows())
+	}
+}
+
+func TestRestoreValidation(t *testing.T) {
+	const d, q = 4, 3
+	mk := func(shards int) *Sharded {
+		eng, err := NewSharded(exactFactory(d, q), Config{Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(eng.Close)
+		return eng
+	}
+	// A donor image from a 2-shard engine.
+	src := mk(2)
+	src.Observe(make(words.Word, d))
+	blobs := make([][]byte, 2)
+	if _, err := src.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range blobs {
+		var err error
+		blobs[i], err = core.MarshalSummary(src.shards[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Shard-count mismatch.
+	if err := mk(3).Restore(CheckpointState{Next: 2, Rows: 1, Shards: blobs}); err == nil {
+		t.Fatal("shard-count mismatch must fail")
+	}
+	// Restore onto a used engine.
+	used := mk(2)
+	used.Observe(make(words.Word, d))
+	if _, err := used.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := used.Restore(CheckpointState{Next: 2, Rows: 1, Shards: blobs}); err == nil {
+		t.Fatal("restore after rows must fail")
+	}
+	// Undecodable blob.
+	if err := mk(2).Restore(CheckpointState{Next: 2, Rows: 1, Shards: [][]byte{[]byte("junk"), []byte("junk")}}); err == nil {
+		t.Fatal("corrupt shard blob must fail")
+	}
+	// A clean restore reproduces the source exactly.
+	dst := mk(2)
+	if err := dst.Restore(CheckpointState{Next: 1, Rows: 1, Shards: blobs}); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := engineBytes(t, dst), engineBytes(t, src); !bytes.Equal(got, want) {
+		t.Fatal("restored engine differs from source")
+	}
+	// CheckpointState without a log is refused.
+	if _, err := mk(2).CheckpointState(); !errors.Is(err, ErrNoLog) {
+		t.Fatalf("CheckpointState without log: %v", err)
+	}
+}
+
+func TestReplayBatchValidatesShape(t *testing.T) {
+	const d, q = 4, 3
+	eng, err := NewSharded(exactFactory(d, q), Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if err := eng.ReplayBatch(words.BatchOf(d+1, make([]uint16, d+1))); err == nil {
+		t.Fatal("dimension mismatch must fail")
+	}
+	if err := eng.ReplayBatch(words.BatchOf(d, []uint16{0, 1, 2, uint16(q)})); err == nil {
+		t.Fatal("out-of-alphabet replay must fail")
+	}
+	if eng.Rows() != 0 {
+		t.Fatalf("rejected replays accepted %d rows", eng.Rows())
+	}
+	if err := eng.ReplayBatch(words.BatchOf(d, []uint16{0, 1, 2, 0})); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Rows() != 1 {
+		t.Fatalf("replayed row not accepted: %d", eng.Rows())
+	}
+}

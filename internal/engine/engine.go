@@ -71,6 +71,14 @@ type Config struct {
 	// QueryWorkers bounds the worker pool QueryBatch evaluates cache
 	// misses on (default runtime.GOMAXPROCS(0)).
 	QueryWorkers int
+	// Log, when non-nil, is the durability tee: every accepted batch,
+	// row, and absorbed summary is appended to it before it is routed
+	// to a shard, so a crashed process can be rebuilt by replaying the
+	// log (see internal/store and the durability section of
+	// ARCHITECTURE.md). Ingestion through a log is serialized —
+	// append order in the log is exactly shard-routing order, which is
+	// what makes replay reproduce the shard state bit for bit.
+	Log Log
 }
 
 func (c Config) withDefaults() Config {
@@ -129,6 +137,13 @@ type Sharded struct {
 	enqueued atomic.Int64  // rows accepted (the staleness clock)
 	closed   atomic.Bool
 
+	// log is the optional durability tee (Config.Log); logMu
+	// serializes append+route sequences against each other and against
+	// the checkpoint cut, so the log order, the routing order, and the
+	// cut LSN always agree. Both are untouched when log is nil.
+	log   Log
+	logMu sync.Mutex
+
 	mu       sync.Mutex // serializes quiesce + snapshot rebuild
 	subs     []subspaceSpec
 	absorbs  int // successful Absorb calls; guards late registration
@@ -147,6 +162,7 @@ func NewSharded(factory Factory, cfg Config) (*Sharded, error) {
 	s := &Sharded{
 		cfg:     cfg,
 		factory: factory,
+		log:     cfg.Log,
 		shards:  make([]*registry.Registry, cfg.Shards),
 		chans:   make([]chan shardMsg, cfg.Shards),
 		cache:   newQueryCache(cfg.CacheSize),
@@ -260,9 +276,23 @@ func (s *Sharded) worker(i int) {
 // accepted-rows clock ticks after the channel send, so a concurrent
 // Flush that observes the new count is guaranteed to find the row
 // behind its quiesce barrier and reflect it in the snapshot.
+//
+// With a durability log configured the row is appended to it (as a
+// one-row batch record) before it is routed; a log failure panics,
+// because this signature cannot report that the durability promise
+// was broken — servers use ObserveBatchDurable, which returns it.
 func (s *Sharded) Observe(w words.Word) {
 	if s.closed.Load() {
 		panic("engine: Observe after Close")
+	}
+	if s.log != nil {
+		if len(w) != s.Dim() {
+			panic(fmt.Sprintf("engine: row length %d != engine dimension %d", len(w), s.Dim()))
+		}
+		if err := s.ingest(words.BatchOf(len(w), w)); err != nil {
+			panic(fmt.Sprintf("engine: durability log append failed: %v", err))
+		}
+		return
 	}
 	i := s.next.Add(1) % uint64(len(s.chans))
 	s.chans[i] <- shardMsg{row: w.Clone()}
@@ -280,13 +310,52 @@ func (s *Sharded) Observe(w words.Word) {
 // contract makes invisible. Safe for concurrent callers; b is not
 // retained and may be reused (or mutated) as soon as the call
 // returns. It must not be called after Close.
+// With a durability log configured the whole batch is appended as one
+// record before its chunks are routed; a log failure panics (see
+// Observe) — servers use ObserveBatchDurable instead.
 func (s *Sharded) ObserveBatch(b *words.Batch) {
+	if err := s.ObserveBatchDurable(b); err != nil {
+		panic(fmt.Sprintf("engine: durability log append failed: %v", err))
+	}
+}
+
+// ObserveBatchDurable is ObserveBatch with the durability surfaced:
+// with a log configured the batch is appended to it first, and an
+// append failure is returned with nothing routed — the engine and the
+// log stay consistent and the caller (the daemon's observe handler)
+// can refuse the request. Without a log it never fails.
+func (s *Sharded) ObserveBatchDurable(b *words.Batch) error {
 	if s.closed.Load() {
 		panic("engine: ObserveBatch after Close")
 	}
 	if b.Dim() != s.Dim() {
 		panic(fmt.Sprintf("engine: batch dimension %d != engine dimension %d", b.Dim(), s.Dim()))
 	}
+	return s.ingest(b)
+}
+
+// ingest is the tee point: append to the log (if configured), then
+// route. Log order must equal routing order or replay would re-shard
+// rows differently than the original run, so the whole append+route
+// sequence holds logMu — durable ingestion is serialized, which the
+// log's own disk write would largely force anyway.
+func (s *Sharded) ingest(b *words.Batch) error {
+	if s.log == nil {
+		s.routeBatch(b)
+		return nil
+	}
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	if err := s.log.AppendBatch(b); err != nil {
+		return err
+	}
+	s.routeBatch(b)
+	return nil
+}
+
+// routeBatch distributes a batch's chunks to the shard workers (see
+// ObserveBatch for the routing contract).
+func (s *Sharded) routeBatch(b *words.Batch) {
 	n := b.Len()
 	d := b.Dim()
 	flat := b.Symbols()
@@ -396,10 +465,40 @@ func (s *Sharded) Flush() (core.Summary, error) { return s.Snapshot() }
 // matches; bare summary pushes are refused with ErrIncompatibleMerge,
 // since folding them into the catch-all alone would leave the
 // subspace summaries behind the stream.
+//
+// With a durability log configured, a successful absorb is appended
+// to it (as the donor's re-marshaled wire blob) so replay reproduces
+// it; a failed merge is never logged. If the merge succeeds but the
+// log append fails, the error is returned with the merge in place —
+// the engine is then ahead of its log, and the caller should treat
+// the store as failing (the daemon surfaces a 500 and the operator's
+// next checkpoint or restart reconciles).
 func (s *Sharded) Absorb(sum core.Summary) error {
+	return s.absorb(sum, true)
+}
+
+// absorb implements Absorb; replay passes tee=false so recovered
+// records are not re-appended to the log they came from.
+func (s *Sharded) absorb(sum core.Summary, tee bool) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	i := int(s.next.Add(1) % uint64(len(s.shards)))
+	if s.log != nil {
+		// The log order must match the state order (see ingest): no row
+		// append may land between this merge and its log record.
+		s.logMu.Lock()
+		defer s.logMu.Unlock()
+	}
+	var i int
+	if s.log != nil {
+		// Replay only sees successful absorbs (failures are never
+		// logged), so the routing counter must advance only on success
+		// or every later row would re-route differently on recovery.
+		// logMu is held, so no other advancer can race the
+		// read-then-add below.
+		i = int((s.next.Load() + 1) % uint64(len(s.shards)))
+	} else {
+		i = int(s.next.Add(1) % uint64(len(s.shards)))
+	}
 	var target []chan shardMsg
 	if s.chans != nil {
 		// Only the receiving shard's worker needs to pause; ingestion
@@ -412,9 +511,29 @@ func (s *Sharded) Absorb(sum core.Summary) error {
 	if err != nil {
 		return fmt.Errorf("engine: absorbing into shard %d: %w", i, err)
 	}
+	var teeErr error
+	if tee && s.log != nil {
+		blob, err := core.MarshalSummary(sum)
+		if err == nil {
+			err = s.log.AppendSummary(blob)
+		}
+		teeErr = err
+	}
+	// The routing counter must track the log exactly: it advances only
+	// when the absorb has (or needs, in replay) a log record, because
+	// recovery re-derives every later record's shard from the replayed
+	// counter. A merged-but-unlogged absorb (teeErr != nil) therefore
+	// leaves the counter alone — its state is a ghost the next
+	// checkpoint will capture, but the rows logged after it must route
+	// on replay exactly as they did live.
+	if s.log != nil && teeErr == nil {
+		s.next.Add(1)
+	}
 	// Count the absorb itself, not just the donor's rows: a blob may
 	// carry sketch state while claiming zero rows, and subspace
 	// registration must treat any absorbed state as ingestion started.
+	// This includes the unlogged-failure path — the state exists in the
+	// shards regardless of what the log says.
 	s.absorbs++
 	s.enqueued.Add(sum.Rows())
 	// Drop any existing snapshot outright rather than trusting the
@@ -422,6 +541,9 @@ func (s *Sharded) Absorb(sum core.Summary) error {
 	// a blob may carry sketch state with rows = 0, which would
 	// otherwise leave a prior snapshot looking fresh.
 	s.snap = nil
+	if teeErr != nil {
+		return fmt.Errorf("engine: logging absorb: %w", teeErr)
+	}
 	return nil
 }
 
@@ -446,6 +568,38 @@ var ErrRowsAccepted = errors.New("engine: rows already accepted; register subspa
 func (s *Sharded) RegisterSubspace(c words.ColumnSet, sub Factory) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.registerSubspaceLocked(c, sub)
+}
+
+// RegisterSubspaceLogged registers like RegisterSubspace and then
+// runs appendRecord (the caller's WAL write for the registration)
+// before any other ingestion can append to the log: the whole
+// sequence holds the ingestion lock, so the registration's log
+// position always matches its engine order. Without this a row
+// accepted between the registration and its log record would replay
+// first on recovery and make the logged registration unapplicable
+// (rows already accepted). If appendRecord fails the registration
+// stays (it cannot be undone) and the error is returned; the caller
+// owns that divergence — see the daemon's recordSubspace.
+func (s *Sharded) RegisterSubspaceLogged(c words.ColumnSet, sub Factory, appendRecord func() error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.log != nil {
+		s.logMu.Lock()
+		defer s.logMu.Unlock()
+	}
+	if err := s.registerSubspaceLocked(c, sub); err != nil {
+		return err
+	}
+	if appendRecord != nil {
+		return appendRecord()
+	}
+	return nil
+}
+
+// registerSubspaceLocked implements registration; callers hold s.mu
+// (and, when the registration must be logged, logMu).
+func (s *Sharded) registerSubspaceLocked(c words.ColumnSet, sub Factory) error {
 	if n := s.enqueued.Load(); n != 0 {
 		return fmt.Errorf("%w (%d rows accepted)", ErrRowsAccepted, n)
 	}
@@ -602,6 +756,18 @@ func (s *Sharded) Alphabet() int { return s.shards[0].Alphabet() }
 
 // Rows returns the number of rows accepted by Observe.
 func (s *Sharded) Rows() int64 { return s.enqueued.Load() }
+
+// Absorbs returns the number of summaries folded in through Absorb,
+// including absorbs restored from a checkpoint or replayed during
+// recovery. Together with Rows and NumSubspaces it versions the
+// engine's queryable state — a zero-row donor blob can change answers
+// without moving the row clock, which is why the daemon's /v1/summary
+// ETag includes it.
+func (s *Sharded) Absorbs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.absorbs
+}
 
 // SizeBytes totals the shard summaries' space (quiesced, so the walk
 // does not race ingestion). The merge snapshot is transient and not

@@ -1,0 +1,326 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/wire"
+)
+
+// This file is the WAL segment format: how records are framed on disk
+// and how a segment's byte image is scanned back into records during
+// recovery (and by Inspect and the fuzzer, which share the scanner).
+//
+// Segment file layout (little-endian, see ARCHITECTURE.md):
+//
+//	offset size field
+//	0      4    magic "PFQW"
+//	4      1    format version (walVersion)
+//	5      3    reserved, must be zero
+//	8      4    dimension d
+//	12     4    alphabet size Q
+//	16     8    first LSN (the log sequence number of frame 0)
+//	24     …    frames
+//
+// Frame layout:
+//
+//	offset size field
+//	0      4    payload length (u32)
+//	4      4    CRC32C (Castagnoli) of the payload
+//	8      …    payload: record type byte + type-specific body
+//
+// Frames are the unit of atomicity: a record either scans back whole
+// (length in bounds, CRC matches) or the scan stops at it. A torn
+// final frame — the expected shape of a crash mid-append — is
+// therefore indistinguishable from a clean end-of-log at the previous
+// frame, which is exactly the recovery semantics we want.
+
+// walVersion is the WAL segment format version.
+const walVersion = 1
+
+// segHeaderSize is the fixed byte length of the segment header.
+const segHeaderSize = 24
+
+// frameHeaderSize is the length+CRC prefix of every frame.
+const frameHeaderSize = 8
+
+// walMagic opens every WAL segment file.
+var walMagic = [4]byte{'P', 'F', 'Q', 'W'}
+
+// castagnoli is the CRC32C table shared by frames and checkpoints.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// RecordKind identifies a WAL record's type byte.
+type RecordKind uint8
+
+// The WAL record kinds.
+const (
+	// RecordBatch is a batch of ingested rows (flat row-major u16
+	// symbols; the row count follows from the segment's dimension).
+	RecordBatch RecordKind = 1
+	// RecordSummary is an absorbed summary's wire blob (the /v1/push
+	// path), replayed through Absorb.
+	RecordSummary RecordKind = 2
+	// RecordSubspace is a subspace registration: the column-set mask
+	// and the provisioning kind string the daemon maps back to a
+	// factory on replay.
+	RecordSubspace RecordKind = 3
+)
+
+// String names the kind as printed by Inspect.
+func (k RecordKind) String() string {
+	switch k {
+	case RecordBatch:
+		return "batch"
+	case RecordSummary:
+		return "summary"
+	case RecordSubspace:
+		return "subspace"
+	default:
+		return fmt.Sprintf("RecordKind(%d)", uint8(k))
+	}
+}
+
+// Record is one decoded WAL record. Rows and Blob alias the scanned
+// segment image and must not be retained past the replay callback.
+type Record struct {
+	// LSN is the record's log sequence number.
+	LSN uint64
+	// Kind selects which of the remaining fields apply.
+	Kind RecordKind
+	// Rows is the flat row-major symbol data (RecordBatch).
+	Rows []uint16
+	// Blob is the absorbed summary's wire form (RecordSummary).
+	Blob []byte
+	// Mask and Summary are the registered column-set mask and the
+	// provisioning kind string (RecordSubspace).
+	Mask uint64
+	// Summary is the subspace's provisioning kind string
+	// (RecordSubspace).
+	Summary string
+}
+
+// segHeader is a decoded segment header.
+type segHeader struct {
+	dim, alphabet int
+	firstLSN      uint64
+}
+
+// appendSegHeader writes the 24-byte segment header.
+func appendSegHeader(dst []byte, d, q int, firstLSN uint64) []byte {
+	w := wire.NewWriter(segHeaderSize)
+	w.Raw(walMagic[:])
+	w.U8(walVersion)
+	w.U8(0)
+	w.U16(0)
+	w.U32(uint32(d))
+	w.U32(uint32(q))
+	w.U64(firstLSN)
+	return append(dst, w.Bytes()...)
+}
+
+// parseSegHeader validates a segment's leading bytes.
+func parseSegHeader(data []byte) (segHeader, error) {
+	r := wire.NewReader(data, ErrCorrupt)
+	var magic [4]byte
+	magic[0], magic[1], magic[2], magic[3] = r.U8(), r.U8(), r.U8(), r.U8()
+	version := r.U8()
+	rsv1, rsv2 := r.U8(), r.U16()
+	d := int(r.U32())
+	q := int(r.U32())
+	first := r.U64()
+	if err := r.Err(); err != nil {
+		return segHeader{}, fmt.Errorf("%w: segment header truncated", ErrCorrupt)
+	}
+	if magic != walMagic {
+		return segHeader{}, fmt.Errorf("%w: bad segment magic %q", ErrCorrupt, magic[:])
+	}
+	if version != walVersion {
+		return segHeader{}, fmt.Errorf("%w: unsupported segment version %d (have %d)", ErrCorrupt, version, walVersion)
+	}
+	if rsv1 != 0 || rsv2 != 0 {
+		return segHeader{}, fmt.Errorf("%w: non-zero reserved segment bytes", ErrCorrupt)
+	}
+	if d < 1 || q < 2 {
+		return segHeader{}, fmt.Errorf("%w: degenerate segment shape d=%d q=%d", ErrCorrupt, d, q)
+	}
+	return segHeader{dim: d, alphabet: q, firstLSN: first}, nil
+}
+
+// appendFrame wraps payload in the length+CRC frame.
+func appendFrame(dst, payload []byte) []byte {
+	w := wire.NewWriter(frameHeaderSize)
+	w.U32(uint32(len(payload)))
+	w.U32(crc32.Checksum(payload, castagnoli))
+	return append(append(dst, w.Bytes()...), payload...)
+}
+
+// beginFrame reserves the 8-byte frame header in dst so the payload
+// can be encoded directly after it (no staging buffer); finishFrame
+// backfills the length and CRC once the payload is in place. buf must
+// be the beginFrame result with the payload appended.
+func beginFrame(dst []byte) []byte {
+	return append(dst, 0, 0, 0, 0, 0, 0, 0, 0)
+}
+
+func finishFrame(buf []byte) {
+	payload := buf[frameHeaderSize:]
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, castagnoli))
+}
+
+// scanResult is what scanning a segment image yields: the decoded
+// records, the byte length of the valid prefix (header + whole valid
+// frames), and whether scanning stopped at a damaged or truncated
+// frame before the end of the image.
+type scanResult struct {
+	header   segHeader
+	records  []Record
+	validLen int
+	torn     bool
+}
+
+// scanSegment decodes a segment image. It never fails on frame-level
+// damage — a bad length, a CRC mismatch, a truncated tail, or an
+// undecodable record payload stops the scan and sets torn, so the
+// caller decides whether that is a tolerable torn tail (last segment)
+// or mid-log corruption (any earlier segment). Only a damaged segment
+// header is an outright error: without it, not even the first LSN is
+// known.
+func scanSegment(data []byte) (scanResult, error) {
+	h, err := parseSegHeader(data)
+	if err != nil {
+		return scanResult{}, err
+	}
+	res := scanResult{header: h, validLen: segHeaderSize}
+	off := segHeaderSize
+	lsn := h.firstLSN
+	for off < len(data) {
+		if len(data)-off < frameHeaderSize {
+			res.torn = true
+			return res, nil
+		}
+		n := int(uint32(data[off]) | uint32(data[off+1])<<8 | uint32(data[off+2])<<16 | uint32(data[off+3])<<24)
+		sum := uint32(data[off+4]) | uint32(data[off+5])<<8 | uint32(data[off+6])<<16 | uint32(data[off+7])<<24
+		if n < 1 || n > len(data)-off-frameHeaderSize {
+			res.torn = true
+			return res, nil
+		}
+		payload := data[off+frameHeaderSize : off+frameHeaderSize+n]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			res.torn = true
+			return res, nil
+		}
+		rec, err := decodeRecord(payload, h.dim)
+		if err != nil {
+			res.torn = true
+			return res, nil
+		}
+		rec.LSN = lsn
+		lsn++
+		off += frameHeaderSize + n
+		res.records = append(res.records, rec)
+		res.validLen = off
+	}
+	return res, nil
+}
+
+// decodeRecord parses one frame payload (already CRC-verified).
+func decodeRecord(payload []byte, d int) (Record, error) {
+	kind := RecordKind(payload[0])
+	body := payload[1:]
+	switch kind {
+	case RecordBatch:
+		if len(body)%2 != 0 || (len(body)/2)%d != 0 {
+			return Record{}, fmt.Errorf("%w: batch record of %d bytes does not hold whole rows of %d columns", ErrCorrupt, len(body), d)
+		}
+		rows := make([]uint16, len(body)/2)
+		for i := range rows {
+			rows[i] = uint16(body[2*i]) | uint16(body[2*i+1])<<8
+		}
+		return Record{Kind: kind, Rows: rows}, nil
+	case RecordSummary:
+		return Record{Kind: kind, Blob: body}, nil
+	case RecordSubspace:
+		r := wire.NewReader(body, ErrCorrupt)
+		mask := r.U64()
+		name := r.Block()
+		if err := r.Done(); err != nil {
+			return Record{}, err
+		}
+		return Record{Kind: kind, Mask: mask, Summary: string(name)}, nil
+	default:
+		return Record{}, fmt.Errorf("%w: unknown record kind %d", ErrCorrupt, uint8(kind))
+	}
+}
+
+// encodeRecord builds the frame payload for a record: the type byte
+// followed by the type-specific body.
+func encodeBatchRecord(dst []byte, rows []uint16) []byte {
+	dst = append(dst, byte(RecordBatch))
+	for _, x := range rows {
+		dst = append(dst, byte(x), byte(x>>8))
+	}
+	return dst
+}
+
+func encodeSummaryRecord(dst, blob []byte) []byte {
+	return append(append(dst, byte(RecordSummary)), blob...)
+}
+
+func encodeSubspaceRecord(dst []byte, mask uint64, summary string) []byte {
+	w := &wire.Writer{}
+	w.U8(uint8(RecordSubspace))
+	w.U64(mask)
+	w.Block([]byte(summary))
+	return append(dst, w.Bytes()...)
+}
+
+// segmentName formats a segment file name from its first LSN; the
+// zero-padded hex keeps lexical and numeric order identical.
+func segmentName(firstLSN uint64) string {
+	return fmt.Sprintf("wal-%016x.seg", firstLSN)
+}
+
+// parseSegmentName extracts the first LSN from a segment file name.
+func parseSegmentName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".seg") {
+		return 0, false
+	}
+	hex := strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".seg")
+	if len(hex) != 16 {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// listSegments returns the directory's segment files ascending by
+// first LSN.
+func listSegments(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if _, ok := parseSegmentName(e.Name()); ok && !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	paths := make([]string, len(names))
+	for i, n := range names {
+		paths[i] = filepath.Join(dir, n)
+	}
+	return paths, nil
+}
