@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"repro/internal/anet"
+	"repro/internal/benchsuite"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/experiments"
@@ -470,6 +471,30 @@ func BenchmarkShardedObserveBatch(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkMixedReadWrite is the acceptance benchmark for the epoch
+// read path (internal/benchsuite.MixedReadWrite): batched ingestion
+// timed under concurrent QueryBatch readers. "epoch-readers" must stay
+// within ~10% of the read-free "ingest-only" ceiling, against the
+// "strict-readers" quiesce baseline. cmd/bench runs the same workloads
+// to produce the committed BENCH_*.json receipts.
+func BenchmarkMixedReadWrite(b *testing.B) {
+	modes := []struct {
+		name string
+		mode benchsuite.MixedMode
+	}{
+		{"ingest-only", benchsuite.MixedIngestOnly},
+		{"epoch-readers", benchsuite.MixedEpochReaders},
+		{"strict-readers", benchsuite.MixedStrictReaders},
+	}
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) { benchsuite.MixedReadWrite(b, m.mode) })
+	}
+}
+
+// BenchmarkWALAppend times write-ahead-log batch appends (the
+// durability tee's cost per row) via the shared bench suite.
+func BenchmarkWALAppend(b *testing.B) { benchsuite.WALAppend(b) }
 
 // batchQueries builds a 32-query mixed batch over distinct projections.
 func batchQueries() []engine.Query {

@@ -3,7 +3,11 @@
 // model. Rows stream in through /v1/observe, remote writers push whole
 // serialized summaries through /v1/push (merged on ingest), and
 // readers batch queries through /v1/query or export the merged
-// summary as a wire blob from /v1/summary.
+// summary as a wire blob from /v1/summary. Reads are served from an
+// epoch snapshot; with -max-staleness / -max-staleness-rows the
+// daemon may serve a bounded-stale epoch instead of rebuilding on
+// every change, decoupling readers from ingestion (responses carry an
+// "epoch" block reporting the exact staleness).
 //
 // Before ingestion starts, clients may provision dedicated summaries
 // for hot projections through /v1/subspaces (register with POST, list
@@ -94,6 +98,8 @@ func run() error {
 		fsyncStr = flag.String("fsync", "interval", "WAL fsync policy: always | interval | never")
 		ckRows   = flag.Int64("checkpoint-rows", 1<<20, "checkpoint after this many new rows (0 disables the row trigger)")
 		ckEvery  = flag.Duration("checkpoint-interval", 5*time.Minute, "checkpoint at least this often while data arrives (0 disables the timer)")
+		staleDur = flag.Duration("max-staleness", 0, "serve reads from a snapshot at most this old (0 = always fresh; see README for the consistency caveat)")
+		staleRow = flag.Int64("max-staleness-rows", 0, "serve reads from a snapshot missing at most this many rows (0 = always fresh)")
 	)
 	flag.Parse()
 
@@ -112,7 +118,12 @@ func run() error {
 
 	eng, err := engine.NewSharded(func(shard int) (core.Summary, error) {
 		return buildSummary(*kind, *d, *q, *eps, *delta, *alpha, *seed, shard)
-	}, engine.Config{Shards: *shards, Log: wal})
+	}, engine.Config{
+		Shards:               *shards,
+		Log:                  wal,
+		MaxStalenessRows:     *staleRow,
+		MaxStalenessInterval: *staleDur,
+	})
 	if err != nil {
 		return err
 	}
@@ -492,19 +503,19 @@ func (s *server) handlePush(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, pushResponse{RowsMerged: sum.Rows(), Rows: s.eng.Rows()})
 }
 
-// summaryETag versions the exported summary: a fingerprint of the
-// daemon's configuration (engine name — which carries the summary
-// kind and shard count — and shape), the wire version, the
-// accepted-row clock, the absorb count (a pushed blob can change
-// answers while claiming zero rows), and the subspace count. Any
-// mutation the daemon accepts moves one of the counters, and the
-// fingerprint keeps a daemon restarted with different flags from
-// answering 304 to a tag its predecessor minted for a different
-// summary. The tag is computed before the state is read, so a tag can
-// under- but never over-represent the blob it accompanies: a 304
-// client's cached blob is never staler than the state its tag names.
-func (s *server) summaryETag() string {
-	return fmt.Sprintf(`"pfqs-%d-%x-%d-%d-%d"`, core.WireVersion, s.cfgTag, s.eng.Rows(), s.eng.Absorbs(), s.eng.NumSubspaces())
+// summaryETag versions the exported summary: the wire version, a
+// fingerprint of the daemon's configuration (engine name — which
+// carries the summary kind and shard count — and shape, plus a boot
+// nonce), and the serving epoch's sequence number. The epoch seq is
+// the right validator under staleness budgets: every mutation the
+// daemon accepts (rows, pushes, subspace registrations) produces a new
+// epoch before a changed blob can be exported, while live state
+// counters would mint distinct tags for the one unchanged blob a
+// budget keeps serving — or worse, one tag for two different blobs.
+// The boot nonce keeps a restarted daemon (whose seq restarts at 1)
+// from answering 304 to a predecessor's tag.
+func (s *server) summaryETag(epochSeq uint64) string {
+	return fmt.Sprintf(`"pfqs-%d-%x-%d"`, core.WireVersion, s.cfgTag, epochSeq)
 }
 
 // etagMatch reports whether an If-None-Match header names tag,
@@ -521,20 +532,28 @@ func etagMatch(header, tag string) bool {
 }
 
 func (s *server) handleSummary(w http.ResponseWriter, r *http.Request) {
-	// The conditional probe runs before the expensive part: a repeat
-	// GET with no new state skips the quiesce-and-marshal entirely.
-	tag := s.summaryETag()
-	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatch(inm, tag) {
-		w.Header().Set("ETag", tag)
-		w.WriteHeader(http.StatusNotModified)
-		return
-	}
-	blob, err := s.eng.MarshalBinary()
+	// Resolving the epoch is the cheap part (lock-free while the
+	// serving epoch is current or within budget); the conditional probe
+	// then runs before the expensive marshal, so a repeat GET with no
+	// new epoch skips serialization entirely.
+	snap, info, err := s.eng.SnapshotInfo()
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
+	tag := s.summaryETag(info.Seq)
 	w.Header().Set("ETag", tag)
+	w.Header().Set("X-Epoch-Rows", fmt.Sprint(info.Rows))
+	w.Header().Set("X-Epoch-Staleness-Rows", fmt.Sprint(info.StalenessRows))
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatch(inm, tag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	blob, err := core.MarshalSummary(snap)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", fmt.Sprint(len(blob)))
 	_, _ = w.Write(blob)
@@ -565,9 +584,11 @@ type registerSubspaceRequest struct {
 }
 
 func (s *server) handleSubspacesList(w http.ResponseWriter, r *http.Request) {
-	// Subspaces() quiesces the workers for consistent sizes — the same
-	// per-poll cost /v1/stats pays for its SizeBytes; count-only
-	// consumers should read the stats endpoint's cheap subspace count.
+	// Subspaces() quiesces the workers for consistent per-subspace
+	// sizes — the one read endpoint that still pays the barrier, since
+	// the epoch snapshot does not keep per-shard size breakdowns;
+	// count-only consumers should read the stats endpoint's cheap
+	// subspace count.
 	resp := subspacesResponse{Subspaces: []subspaceJSON{}}
 	for _, info := range s.eng.Subspaces() {
 		resp.Subspaces = append(resp.Subspaces, subspaceJSON{
@@ -672,9 +693,32 @@ type resultJSON struct {
 	Cached      bool      `json:"cached,omitempty"`
 }
 
-// queryResponse position-matches the request's queries.
+// epochJSON surfaces the serving epoch's staleness to clients: which
+// snapshot build answered, the accepted-row clock it covers, how many
+// rows it is missing, and its wall-clock age. Under the default strict
+// configuration staleness_rows is always 0.
+type epochJSON struct {
+	Seq           uint64  `json:"seq"`
+	Rows          int64   `json:"rows"`
+	StalenessRows int64   `json:"staleness_rows"`
+	AgeMS         float64 `json:"age_ms"`
+}
+
+// epochFromInfo converts the engine's view into the wire block.
+func epochFromInfo(info engine.EpochInfo) *epochJSON {
+	return &epochJSON{
+		Seq:           info.Seq,
+		Rows:          info.Rows,
+		StalenessRows: info.StalenessRows,
+		AgeMS:         float64(info.Age) / float64(time.Millisecond),
+	}
+}
+
+// queryResponse position-matches the request's queries; Epoch
+// identifies the snapshot that answered them.
 type queryResponse struct {
 	Results []resultJSON `json:"results"`
+	Epoch   *epochJSON   `json:"epoch,omitempty"`
 }
 
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -712,8 +756,11 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		batch[i] = eq
 	}
-	results := s.eng.QueryBatch(batch)
+	results, info := s.eng.QueryBatchInfo(batch)
 	resp := queryResponse{Results: make([]resultJSON, len(results))}
+	if info.Seq != 0 {
+		resp.Epoch = epochFromInfo(info)
+	}
 	for i, res := range results {
 		out := resultJSON{Value: res.Value, Route: res.Route, Cached: res.Cached}
 		if res.Err != nil {
@@ -738,7 +785,10 @@ type storeStatsJSON struct {
 	CheckpointLSN uint64 `json:"checkpoint_lsn"`
 }
 
-// statsResponse is the /v1/stats body.
+// statsResponse is the /v1/stats body. SizeBytes comes from the
+// serving epoch's cut — a cached value, not a fresh shard walk — so
+// polling stats never stalls ingestion; Epoch says how old that cut
+// is.
 type statsResponse struct {
 	Name      string          `json:"name"`
 	Dim       int             `json:"dim"`
@@ -748,6 +798,7 @@ type statsResponse struct {
 	Subspaces int             `json:"subspaces"`
 	SizeBytes int             `json:"size_bytes"`
 	Wire      int             `json:"wire_version"`
+	Epoch     *epochJSON      `json:"epoch,omitempty"`
 	Store     *storeStatsJSON `json:"store,omitempty"`
 }
 
@@ -759,8 +810,14 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Rows:      s.eng.Rows(),
 		Shards:    s.eng.NumShards(),
 		Subspaces: s.eng.NumSubspaces(),
-		SizeBytes: s.eng.SizeBytes(),
 		Wire:      core.WireVersion,
+	}
+	// One epoch resolution serves both the size and the staleness
+	// block; an epoch-build failure degrades the two fields rather than
+	// failing the whole stats poll.
+	if _, info, err := s.eng.SnapshotInfo(); err == nil {
+		resp.SizeBytes = info.SizeBytes
+		resp.Epoch = epochFromInfo(info)
 	}
 	if s.wal != nil {
 		st := s.wal.Stats()

@@ -63,10 +63,18 @@ type CheckpointState struct {
 // CheckpointState captures a checkpoint cut under the quiesce
 // barrier: ingestion is paused at a point where the log, the routing
 // clock, and the shard contents all agree, the coordinates are read,
-// and then ingestion resumes while the (slow) per-shard marshaling
-// runs against the still-paused workers' summaries. New appends
-// during marshaling land behind the barrier and after the cut LSN, so
-// they belong to the replay range — the cut stays exact.
+// and then appenders resume (logMu is released) while the (slow)
+// per-shard marshaling runs against the still-paused workers'
+// summaries. New appends during marshaling land behind the barrier
+// and after the cut LSN, so they belong to the replay range — the cut
+// stays exact.
+//
+// The read path piggybacks on the same barrier: while each shard is
+// marshaled, it is also merged into a fresh registry, which is
+// published as the new serving epoch when the cut completes. One
+// barrier thus buys both the durable image and a fresh read snapshot
+// — after a checkpoint, reads reflect everything below its cut
+// without paying a second quiesce.
 func (s *Sharded) CheckpointState() (CheckpointState, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -74,6 +82,13 @@ func (s *Sharded) CheckpointState() (CheckpointState, error) {
 		return CheckpointState{}, ErrNoLog
 	}
 	st := CheckpointState{Shards: make([][]byte, len(s.shards))}
+	// The epoch scaffold and its pre-barrier rows clock (see
+	// rebuildLocked for why the clock must be read before the barrier).
+	// A scaffold factory failure only skips the epoch refresh — the
+	// checkpoint itself proceeds.
+	merged, mergedErr := s.buildShard(len(s.shards))
+	accepted := s.enqueued.Load()
+	size := 0
 	// Hold logMu while the barrier is posted: no append can be between
 	// its log write and its channel send, so everything logged below
 	// the cut LSN is in a queue ahead of the barrier — and therefore in
@@ -93,6 +108,10 @@ func (s *Sharded) CheckpointState() (CheckpointState, error) {
 				return fmt.Errorf("engine: marshaling shard %d for checkpoint: %w", i, err)
 			}
 			st.Shards[i] = blob
+			if mergedErr == nil {
+				mergedErr = merged.MergeTrusted(sh)
+				size += sh.SizeBytes()
+			}
 		}
 		return nil
 	})
@@ -101,6 +120,9 @@ func (s *Sharded) CheckpointState() (CheckpointState, error) {
 	}
 	if err != nil {
 		return CheckpointState{}, err
+	}
+	if mergedErr == nil {
+		s.publishLocked(merged, accepted, size)
 	}
 	return st, nil
 }
@@ -159,7 +181,7 @@ func (s *Sharded) Restore(st CheckpointState) error {
 	s.next.Store(st.Next)
 	s.enqueued.Store(st.Rows)
 	s.absorbs = st.Absorbs
-	s.snap = nil
+	s.cur.Store(nil)
 	return nil
 }
 

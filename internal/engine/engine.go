@@ -15,12 +15,19 @@
 //
 // # Queries
 //
-// Queries quiesce the workers with a channel barrier, merge the shard
-// summaries into a fresh snapshot (rebuilt only when new rows have
-// arrived since the last one), and answer through the snapshot — many
-// queries at a time via QueryBatch, which evaluates cache misses on a
-// bounded worker pool (Config.QueryWorkers) behind a
-// generation-checked result cache.
+// Reads are served from epochs: immutable merged snapshots published
+// behind an atomic pointer. A query that finds the current epoch
+// within its staleness budget (Config.MaxStalenessRows /
+// MaxStalenessInterval; the zero budget means "always fresh") serves
+// it without touching the workers at all — no barrier, no merge, no
+// lock on the ingest path. Only when the epoch has aged past the
+// budget does a read pay the rebuild: quiesce the workers with a
+// channel barrier, merge the shard summaries into a fresh registry,
+// and publish it as the next epoch. QueryBatch answers many queries
+// at a time against one epoch, evaluating cache misses on a bounded
+// worker pool (Config.QueryWorkers) behind a generation-checked
+// result cache; Flush is the strict escape hatch that always forces a
+// fresh epoch through the barrier.
 //
 // # Subspaces
 //
@@ -42,6 +49,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/registry"
@@ -71,6 +79,19 @@ type Config struct {
 	// QueryWorkers bounds the worker pool QueryBatch evaluates cache
 	// misses on (default runtime.GOMAXPROCS(0)).
 	QueryWorkers int
+	// MaxStalenessRows, when positive, lets reads serve an epoch that
+	// is up to this many accepted rows behind the ingest clock before
+	// paying a rebuild. Zero (with a zero MaxStalenessInterval) keeps
+	// the strict contract: every read reflects every row accepted
+	// before it started.
+	MaxStalenessRows int64
+	// MaxStalenessInterval, when positive, lets reads serve an epoch
+	// cut up to this long ago. When set, a background refresher
+	// rebuilds aging epochs off the read path. An epoch that already
+	// covers every accepted row is fresh at any age under either
+	// budget; when both budgets are set, exceeding either one forces a
+	// rebuild.
+	MaxStalenessInterval time.Duration
 	// Log, when non-nil, is the durability tee: every accepted batch,
 	// row, and absorbed summary is appended to it before it is routed
 	// to a shard, so a crashed process can be rebuilt by replaying the
@@ -144,12 +165,35 @@ type Sharded struct {
 	log   Log
 	logMu sync.Mutex
 
-	mu       sync.Mutex // serializes quiesce + snapshot rebuild
-	subs     []subspaceSpec
-	absorbs  int // successful Absorb calls; guards late registration
-	snap     *registry.Registry
-	snapRows int64
-	cache    *queryCache
+	mu      sync.Mutex // serializes quiesce + epoch rebuild
+	subs    []subspaceSpec
+	absorbs int // successful Absorb calls; guards late registration
+	cache   *queryCache
+
+	// cur is the serving epoch: an immutable merged snapshot readers
+	// load without locks. It is nil before the first build and after
+	// any mutation that invalidates merged state wholesale (Absorb,
+	// Restore, subspace registration). All stores happen under mu;
+	// epochSeq (also under mu) numbers the builds.
+	cur      atomic.Pointer[epoch]
+	epochSeq uint64
+
+	// refreshStop stops the background epoch refresher (started only
+	// when Config.MaxStalenessInterval > 0); nil otherwise.
+	refreshStop chan struct{}
+}
+
+// epoch is one published read snapshot: the merged registry, the cache
+// generation its results key on, and the cut coordinates freshness
+// checks and staleness reporting need. Epochs are immutable after
+// publication — readers share them freely.
+type epoch struct {
+	reg   *registry.Registry
+	gen   uint64 // query-cache generation for this epoch
+	seq   uint64 // monotonic build number
+	rows  int64  // accepted-rows clock read before the cut's barrier
+	built time.Time
+	size  int // total shard SizeBytes at the cut
 }
 
 // NewSharded builds the engine and starts its shard workers. The
@@ -200,7 +244,36 @@ func NewSharded(factory Factory, cfg Config) (*Sharded, error) {
 	for i := range s.shards {
 		go s.worker(i)
 	}
+	if cfg.MaxStalenessInterval > 0 {
+		s.refreshStop = make(chan struct{})
+		go s.refresher()
+	}
 	return s, nil
+}
+
+// refresher keeps wall-clock staleness off the read path: it ticks at
+// half the interval budget and rebuilds the epoch whenever state has
+// changed since the last cut, so readers under a time budget almost
+// never find an expired epoch. Rebuild failures are dropped here —
+// the next read retries and surfaces them.
+func (s *Sharded) refresher() {
+	ivl := s.cfg.MaxStalenessInterval / 2
+	if ivl < time.Millisecond {
+		ivl = time.Millisecond
+	}
+	tick := time.NewTicker(ivl)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.refreshStop:
+			return
+		case <-tick.C:
+			if e := s.cur.Load(); e != nil && e.rows == s.enqueued.Load() {
+				continue // nothing new since the cut
+			}
+			_, _ = s.refreshEpoch(false)
+		}
+	}
 }
 
 // buildShard constructs the registry for one shard (or merge
@@ -400,35 +473,79 @@ func (s *Sharded) quiesceChans(chans []chan shardMsg, f func() error) error {
 	return err
 }
 
-// Snapshot returns the merged view of all shards, rebuilding it only
-// when rows have arrived since the last build. The returned summary is
-// never mutated again, so callers may query it concurrently.
-func (s *Sharded) Snapshot() (core.Summary, error) {
-	snap, _, err := s.snapshotGen()
-	return snap, err
+// withinBudget reports whether the epoch may still be served under
+// the configured staleness budget. An epoch that covers every
+// accepted row is fresh at any age (and under any budget); otherwise
+// the strict (zero) budget always forces a rebuild, a positive row
+// budget tolerates that many accepted-but-unmerged rows, and a
+// positive interval budget tolerates that much wall-clock age —
+// exceeding either configured budget expires the epoch.
+func (s *Sharded) withinBudget(e *epoch) bool {
+	if e == nil {
+		return false
+	}
+	rows := s.enqueued.Load()
+	if e.rows == rows {
+		return true
+	}
+	if s.cfg.MaxStalenessRows <= 0 && s.cfg.MaxStalenessInterval <= 0 {
+		return false
+	}
+	if s.cfg.MaxStalenessRows > 0 && rows-e.rows > s.cfg.MaxStalenessRows {
+		return false
+	}
+	if s.cfg.MaxStalenessInterval > 0 && time.Since(e.built) > s.cfg.MaxStalenessInterval {
+		return false
+	}
+	return true
 }
 
-func (s *Sharded) snapshotGen() (*registry.Registry, uint64, error) {
+// currentEpoch is the read path's entry point: serve the published
+// epoch lock-free when it is within budget, rebuild otherwise.
+func (s *Sharded) currentEpoch() (*epoch, error) {
+	if e := s.cur.Load(); s.withinBudget(e) {
+		return e, nil
+	}
+	return s.refreshEpoch(false)
+}
+
+// refreshEpoch rebuilds the serving epoch under mu, double-checking
+// first (a concurrent caller may have just rebuilt): with strict set
+// the epoch must cover every accepted row, otherwise the configured
+// budget decides.
+func (s *Sharded) refreshEpoch(strict bool) (*epoch, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.snap != nil && s.snapRows == s.enqueued.Load() {
-		return s.snap, s.cache.generation(), nil
+	if e := s.cur.Load(); e != nil {
+		if e.rows == s.enqueued.Load() {
+			return e, nil
+		}
+		if !strict && s.withinBudget(e) {
+			return e, nil
+		}
 	}
-	// Read the accepted-rows clock before posting the barrier: every
-	// row counted by now was sent before it was counted, so it sits in
-	// a shard queue ahead of the barrier and lands in this merge. The
-	// merge may additionally pick up rows whose Observe has sent but
-	// not yet counted; recording the pre-barrier clock (rather than
-	// the merge's own row count) keeps the staleness check sound —
-	// when a later load matches snapRows, the accepted set is
-	// unchanged and fully contained in the snapshot. Counting merged
-	// rows instead would let a sent-but-uncounted row masquerade as a
-	// later accepted one and serve a snapshot missing it.
+	return s.rebuildLocked()
+}
+
+// rebuildLocked cuts and publishes a new epoch; callers hold mu.
+//
+// The accepted-rows clock is read before posting the barrier: every
+// row counted by now was sent before it was counted, so it sits in a
+// shard queue ahead of the barrier and lands in this merge. The merge
+// may additionally pick up rows whose Observe has sent but not yet
+// counted; recording the pre-barrier clock (rather than the merge's
+// own row count) keeps the staleness check sound — when a later load
+// matches the epoch's rows, the accepted set is unchanged and fully
+// contained in the snapshot. Counting merged rows instead would let a
+// sent-but-uncounted row masquerade as a later accepted one and serve
+// an epoch missing it.
+func (s *Sharded) rebuildLocked() (*epoch, error) {
 	accepted := s.enqueued.Load()
 	merged, err := s.buildShard(len(s.shards))
 	if err != nil {
-		return nil, 0, fmt.Errorf("engine: snapshot factory: %w", err)
+		return nil, fmt.Errorf("engine: snapshot factory: %w", err)
 	}
+	size := 0
 	err = s.quiesce(func() error {
 		for i, sh := range s.shards {
 			// Trusted path: the snapshot and the shards came from the
@@ -437,21 +554,104 @@ func (s *Sharded) snapshotGen() (*registry.Registry, uint64, error) {
 			if err := merged.MergeTrusted(sh); err != nil {
 				return fmt.Errorf("engine: merging shard %d: %w", i, err)
 			}
+			size += sh.SizeBytes()
 		}
 		return nil
 	})
 	if err != nil {
-		return nil, 0, err
+		return nil, err
 	}
-	s.snap = merged
-	s.snapRows = accepted
-	gen := s.cache.clear()
-	return merged, gen, nil
+	return s.publishLocked(merged, accepted, size), nil
+}
+
+// publishLocked seals a merged registry and installs it as the new
+// serving epoch; callers hold mu. The cache generation and the epoch
+// move together, so results computed against a superseded epoch can
+// never land in (or be served from) the new one's cache.
+func (s *Sharded) publishLocked(merged *registry.Registry, accepted int64, size int) *epoch {
+	merged.Seal()
+	s.epochSeq++
+	e := &epoch{
+		reg:   merged,
+		gen:   s.cache.clear(),
+		seq:   s.epochSeq,
+		rows:  accepted,
+		built: time.Now(),
+		size:  size,
+	}
+	s.cur.Store(e)
+	return e
+}
+
+// Snapshot returns the merged view of all shards from the serving
+// epoch, rebuilding it only when the epoch has expired its staleness
+// budget (with the default zero budget: whenever rows have arrived
+// since the last build). The returned summary is never mutated again,
+// so callers may query it concurrently.
+func (s *Sharded) Snapshot() (core.Summary, error) {
+	e, err := s.currentEpoch()
+	if err != nil {
+		return nil, err
+	}
+	return e.reg, nil
+}
+
+// EpochInfo describes the epoch a read was served from: its build
+// number, the accepted-rows clock at its cut, how many rows had been
+// accepted past the cut when the info was captured, its wall-clock
+// age, and the total shard space at the cut.
+type EpochInfo struct {
+	// Seq is the epoch's monotonic build number (restarts at 1 per
+	// process).
+	Seq uint64
+	// Rows is the accepted-rows clock at the epoch's cut: every row
+	// accepted before it is reflected in served answers.
+	Rows int64
+	// StalenessRows counts the rows accepted after the cut and not yet
+	// visible to readers; bounded by Config.MaxStalenessRows when that
+	// budget is set.
+	StalenessRows int64
+	// Age is the wall-clock time since the cut.
+	Age time.Duration
+	// SizeBytes totals the shard summaries' space at the cut (the
+	// engine's steady-state space; the merged epoch itself is
+	// transient and not counted).
+	SizeBytes int
+}
+
+// epochInfo captures the caller-facing view of e at read time.
+func (s *Sharded) epochInfo(e *epoch) EpochInfo {
+	return EpochInfo{
+		Seq:           e.seq,
+		Rows:          e.rows,
+		StalenessRows: s.enqueued.Load() - e.rows,
+		Age:           time.Since(e.built),
+		SizeBytes:     e.size,
+	}
+}
+
+// SnapshotInfo is Snapshot plus the serving epoch's metadata, for
+// callers that surface staleness (the daemon's summary and stats
+// endpoints).
+func (s *Sharded) SnapshotInfo() (core.Summary, EpochInfo, error) {
+	e, err := s.currentEpoch()
+	if err != nil {
+		return nil, EpochInfo{}, err
+	}
+	return e.reg, s.epochInfo(e), nil
 }
 
 // Flush blocks until every row accepted so far is reflected in the
-// merged snapshot, and returns that snapshot.
-func (s *Sharded) Flush() (core.Summary, error) { return s.Snapshot() }
+// merged snapshot, and returns that snapshot: the strict escape hatch
+// that bypasses any staleness budget and forces a fresh epoch through
+// the worker barrier when needed.
+func (s *Sharded) Flush() (core.Summary, error) {
+	e, err := s.refreshEpoch(true)
+	if err != nil {
+		return nil, err
+	}
+	return e.reg, nil
+}
 
 // Absorb folds an externally built summary — typically one decoded
 // from a remote writer's serialized push — into one of the engine's
@@ -536,11 +736,12 @@ func (s *Sharded) absorb(sum core.Summary, tee bool) error {
 	// shards regardless of what the log says.
 	s.absorbs++
 	s.enqueued.Add(sum.Rows())
-	// Drop any existing snapshot outright rather than trusting the
-	// donor's self-reported row count to advance the staleness clock:
-	// a blob may carry sketch state with rows = 0, which would
-	// otherwise leave a prior snapshot looking fresh.
-	s.snap = nil
+	// Drop the serving epoch outright rather than trusting the donor's
+	// self-reported row count to advance the staleness clock: a blob
+	// may carry sketch state with rows = 0, which would otherwise
+	// leave a prior epoch looking fresh — and absorbed state is never
+	// served stale, not even under a staleness budget.
+	s.cur.Store(nil)
 	if teeErr != nil {
 		return fmt.Errorf("engine: logging absorb: %w", teeErr)
 	}
@@ -657,8 +858,8 @@ func (s *Sharded) registerSubspaceLocked(c words.ColumnSet, sub Factory) error {
 		return fmt.Errorf("engine: registering subspace: %w", err)
 	}
 	s.subs = append(s.subs, subspaceSpec{cols: c, factory: sub})
-	// The next snapshot must carry the new registry structure.
-	s.snap = nil
+	// The next epoch must carry the new registry structure.
+	s.cur.Store(nil)
 	return nil
 }
 
@@ -735,6 +936,9 @@ func (s *Sharded) Close() {
 	if s.closed.Swap(true) {
 		return
 	}
+	if s.refreshStop != nil {
+		close(s.refreshStop)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, ch := range s.chans {
@@ -769,23 +973,18 @@ func (s *Sharded) Absorbs() int {
 	return s.absorbs
 }
 
-// SizeBytes totals the shard summaries' space (quiesced, so the walk
-// does not race ingestion). The merge snapshot is transient and not
-// counted: steady-state space is the N shard summaries.
+// SizeBytes totals the shard summaries' space as of the serving
+// epoch's cut — the walk over the live shards happens once per epoch
+// build (under its barrier), so polling callers like the daemon's
+// stats endpoint no longer quiesce ingestion on every call. The merge
+// snapshot is transient and not counted: steady-state space is the N
+// shard summaries.
 func (s *Sharded) SizeBytes() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	total := 0
-	err := s.quiesce(func() error {
-		for _, sh := range s.shards {
-			total += sh.SizeBytes()
-		}
-		return nil
-	})
+	e, err := s.currentEpoch()
 	if err != nil {
 		return 0
 	}
-	return total
+	return e.size
 }
 
 // Name identifies the engine and its base summary kind.

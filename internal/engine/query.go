@@ -105,13 +105,17 @@ type Result struct {
 }
 
 // QueryBatch answers a batch of queries against one consistent merged
-// snapshot: the engine quiesces ingestion once, merges once (or reuses
-// the previous snapshot when no rows arrived), then serves the batch —
+// snapshot: the current epoch. Under the default strict configuration
+// the epoch is rebuilt (one quiesce + merge) whenever rows have
+// arrived since the last build; under a staleness budget
+// (Config.MaxStalenessRows / MaxStalenessInterval) an in-budget epoch
+// is served as-is, without posting a barrier. The batch then runs —
 //
 //  1. plan: each query's column set is routed by the snapshot's
 //     registry (exact subspace → cheapest covering subspace → full);
 //  2. cache probe: the per-(target, query) key is checked against the
-//     generation-checked result cache;
+//     generation-checked result cache (generations advance with
+//     epochs, so cached answers never outlive their snapshot);
 //  3. evaluate: distinct missing (target, query) pairs are answered
 //     concurrently on a pool of Config.QueryWorkers goroutines, each
 //     against its planned summary, falling back to the full summary
@@ -120,17 +124,27 @@ type Result struct {
 //     (len(out) == len(queries), position-matched) and misses are
 //     written back to the cache.
 func (s *Sharded) QueryBatch(queries []Query) []Result {
+	out, _ := s.QueryBatchInfo(queries)
+	return out
+}
+
+// QueryBatchInfo is QueryBatch plus the identity of the epoch that
+// served the batch, so callers (the daemon's /v1/query) can surface
+// how stale the answers are. A zero EpochInfo accompanies an empty
+// batch or an error-filled result set.
+func (s *Sharded) QueryBatchInfo(queries []Query) ([]Result, EpochInfo) {
 	out := make([]Result, len(queries))
 	if len(queries) == 0 {
-		return out
+		return out, EpochInfo{}
 	}
-	snap, gen, err := s.snapshotGen()
+	e, err := s.currentEpoch()
 	if err != nil {
 		for i := range out {
 			out[i].Err = err
 		}
-		return out
+		return out, EpochInfo{}
 	}
+	snap, gen := e.reg, e.gen
 	// Deduplicate within the batch: identical queries planned to the
 	// same target share one computation (and one cache entry).
 	misses := make(map[string][]int)
@@ -153,7 +167,7 @@ func (s *Sharded) QueryBatch(queries []Query) []Result {
 		misses[key] = append(misses[key], i)
 	}
 	if len(order) == 0 {
-		return out
+		return out, s.epochInfo(e)
 	}
 	workers := s.cfg.QueryWorkers
 	if workers > len(order) {
@@ -179,7 +193,7 @@ func (s *Sharded) QueryBatch(queries []Query) []Result {
 	for _, key := range order {
 		s.cache.put(key, out[misses[key][0]], gen)
 	}
-	return out
+	return out, s.epochInfo(e)
 }
 
 // answerPlanned resolves one query against its planned target,

@@ -86,6 +86,15 @@ type Registry struct {
 	full    core.Summary
 	entries []entry
 	index   map[string]int // canonical ColumnSet key → entry position
+
+	// Seal() freezes these; any mutation clears them (see unseal). A
+	// sealed registry serves SizeBytes and the planner's covering-scan
+	// size comparisons from the frozen values instead of walking every
+	// member — the engine seals each published epoch snapshot so that
+	// read-path planning and size reporting cost O(1) per call.
+	sealedSizes []int // per-entry SizeBytes, index-aligned with entries
+	sealedTotal int   // catch-all + all entries
+	sealed      bool
 }
 
 // New wraps the catch-all summary in a registry with no subspaces. A
@@ -145,6 +154,7 @@ func (r *Registry) RegisterSubspace(c words.ColumnSet, sum core.Summary) error {
 // add appends an entry without the pre-observation checks; the wire
 // decoder uses it to rebuild registries that legitimately carry rows.
 func (r *Registry) add(c words.ColumnSet, sum core.Summary) {
+	r.unseal()
 	r.index[colsKey(c)] = len(r.entries)
 	r.entries = append(r.entries, entry{
 		cols:       c,
@@ -255,14 +265,14 @@ func (r *Registry) Plan(c words.ColumnSet) Target {
 			continue
 		}
 		if best == -1 {
-			best, bestSize = i, e.sum.SizeBytes()
+			best, bestSize = i, r.entrySize(i)
 			continue
 		}
 		switch b := &r.entries[best]; {
 		case e.cols.Len() < b.cols.Len():
-			best, bestSize = i, e.sum.SizeBytes()
+			best, bestSize = i, r.entrySize(i)
 		case e.cols.Len() == b.cols.Len():
-			if sz := e.sum.SizeBytes(); sz < bestSize {
+			if sz := r.entrySize(i); sz < bestSize {
 				best, bestSize = i, sz
 			}
 		}
@@ -293,6 +303,7 @@ func (r *Registry) Subspace(i int) (words.ColumnSet, core.Summary) {
 // Observe fans one row out to the full summary and every subspace
 // summary, keeping all members over the identical stream.
 func (r *Registry) Observe(w words.Word) {
+	r.unseal()
 	r.full.Observe(w)
 	for i := range r.entries {
 		r.entries[i].sum.Observe(w)
@@ -304,6 +315,7 @@ func (r *Registry) Observe(w words.Word) {
 // back to per-row Observe for members without one), equivalent to
 // observing every row in order.
 func (r *Registry) ObserveBatch(b *words.Batch) {
+	r.unseal()
 	core.ObserveAll(r.full, b)
 	for i := range r.entries {
 		core.ObserveAll(r.entries[i].sum, b)
@@ -320,13 +332,57 @@ func (r *Registry) Alphabet() int { return r.full.Alphabet() }
 // catch-all's count is the registry's.
 func (r *Registry) Rows() int64 { return r.full.Rows() }
 
-// SizeBytes totals the catch-all and every subspace summary.
+// SizeBytes totals the catch-all and every subspace summary. On a
+// sealed registry it returns the frozen total without walking the
+// members.
 func (r *Registry) SizeBytes() int {
+	if r.sealed {
+		return r.sealedTotal
+	}
 	total := r.full.SizeBytes()
 	for i := range r.entries {
 		total += r.entries[i].sum.SizeBytes()
 	}
 	return total
+}
+
+// Seal freezes the registry's size accounting for read-only use: the
+// per-entry and total SizeBytes are computed once and served from the
+// cache by SizeBytes and the planner's covering scan, so repeated
+// planning against an immutable snapshot never re-walks sketch state.
+// Sealing asserts nothing about the members themselves — any later
+// mutation (Observe, Merge, RegisterSubspace, ...) silently unseals
+// and correctness falls back to live walks. The engine seals each
+// epoch snapshot it publishes.
+func (r *Registry) Seal() {
+	sizes := make([]int, len(r.entries))
+	total := r.full.SizeBytes()
+	for i := range r.entries {
+		sizes[i] = r.entries[i].sum.SizeBytes()
+		total += sizes[i]
+	}
+	r.sealedSizes, r.sealedTotal, r.sealed = sizes, total, true
+}
+
+// Sealed reports whether size accounting is currently frozen (Seal
+// called with no mutation since).
+func (r *Registry) Sealed() bool { return r.sealed }
+
+// unseal drops the frozen size accounting; every mutating entry point
+// calls it so a stale seal can never misprice the planner.
+func (r *Registry) unseal() {
+	if r.sealed {
+		r.sealedSizes, r.sealedTotal, r.sealed = nil, 0, false
+	}
+}
+
+// entrySize is the planner's size oracle for entry i: the frozen value
+// when sealed, a live walk otherwise.
+func (r *Registry) entrySize(i int) int {
+	if r.sealed {
+		return r.sealedSizes[i]
+	}
+	return r.entries[i].sum.SizeBytes()
 }
 
 // Name identifies the registry; with no subspaces it is transparent
@@ -370,6 +426,7 @@ func (r *Registry) MergeTrusted(other core.Summary) error {
 }
 
 func (r *Registry) merge(other core.Summary, validate bool) error {
+	r.unseal()
 	o, ok := other.(*Registry)
 	if !ok {
 		if len(r.entries) > 0 {

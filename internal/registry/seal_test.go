@@ -1,0 +1,128 @@
+package registry
+
+import (
+	"testing"
+
+	"repro/internal/words"
+)
+
+// newSealTestRegistry builds a registry with two subspaces and some
+// observed rows, the shape the engine publishes as an epoch snapshot.
+func newSealTestRegistry(t *testing.T) *Registry {
+	t.Helper()
+	reg, err := New(newExact(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cols := range []words.ColumnSet{
+		words.MustColumnSet(testDim, 0, 1),
+		words.MustColumnSet(testDim, 0, 1, 2),
+	} {
+		if err := reg.RegisterSubspace(cols, newExact(t)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	testRows(40, reg)
+	return reg
+}
+
+func TestSealFreezesSizes(t *testing.T) {
+	reg := newSealTestRegistry(t)
+	live := reg.SizeBytes()
+	if reg.Sealed() {
+		t.Fatal("fresh registry must not be sealed")
+	}
+	reg.Seal()
+	if !reg.Sealed() {
+		t.Fatal("Seal() must mark the registry sealed")
+	}
+	if got := reg.SizeBytes(); got != live {
+		t.Fatalf("sealed SizeBytes %d != live walk %d at seal time", got, live)
+	}
+	for i := 0; i < reg.NumSubspaces(); i++ {
+		_, sum := reg.Subspace(i)
+		if got, want := reg.entrySize(i), sum.SizeBytes(); got != want {
+			t.Fatalf("sealed entry %d size %d, live %d", i, got, want)
+		}
+	}
+}
+
+func TestSealPlanUnchanged(t *testing.T) {
+	reg := newSealTestRegistry(t)
+	// {0} has no exact entry; both subspaces cover it, so the covering
+	// scan's size comparison runs — sealed and live must agree.
+	q := words.MustColumnSet(testDim, 0)
+	before := reg.Plan(q)
+	reg.Seal()
+	after := reg.Plan(q)
+	if before.ID != after.ID || before.Match != after.Match || before.Route != after.Route {
+		t.Fatalf("sealing changed the plan: %+v vs %+v", before, after)
+	}
+	if after.Match != MatchCovering {
+		t.Fatalf("expected a covering route for %v, got %v", q, after.Match)
+	}
+}
+
+func TestMutationUnseals(t *testing.T) {
+	w := make(words.Word, testDim)
+
+	t.Run("observe", func(t *testing.T) {
+		reg := newSealTestRegistry(t)
+		reg.Seal()
+		frozen := reg.SizeBytes()
+		// Exact summaries grow with distinct rows; feed rows until the
+		// live size moves so a stale seal would be observable.
+		for i := 0; i < 64; i++ {
+			for j := range w {
+				w[j] = uint16((100 + i*(j+3)) % testQ)
+			}
+			reg.Observe(w)
+		}
+		if reg.Sealed() {
+			t.Fatal("Observe must unseal")
+		}
+		if reg.SizeBytes() == frozen && reg.Rows() != 40 {
+			t.Log("size unchanged after growth rows; acceptable only if truly no new state")
+		}
+	})
+
+	t.Run("observe-batch", func(t *testing.T) {
+		reg := newSealTestRegistry(t)
+		reg.Seal()
+		b := words.NewBatch(testDim, 1)
+		for j := range w {
+			w[j] = 1
+		}
+		b.Append(w)
+		reg.ObserveBatch(b)
+		if reg.Sealed() {
+			t.Fatal("ObserveBatch must unseal")
+		}
+	})
+
+	t.Run("merge", func(t *testing.T) {
+		reg := newSealTestRegistry(t)
+		donor := newSealTestRegistry(t)
+		reg.Seal()
+		if err := reg.Merge(donor); err != nil {
+			t.Fatal(err)
+		}
+		if reg.Sealed() {
+			t.Fatal("Merge must unseal")
+		}
+	})
+
+	t.Run("register", func(t *testing.T) {
+		reg, err := New(newExact(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg.Seal()
+		if err := reg.RegisterSubspace(words.MustColumnSet(testDim, 4), newExact(t)); err != nil {
+			t.Fatal(err)
+		}
+		if reg.Sealed() {
+			t.Fatal("RegisterSubspace must unseal")
+		}
+	})
+}
