@@ -496,6 +496,26 @@ func BenchmarkMixedReadWrite(b *testing.B) {
 // durability tee's cost per row) via the shared bench suite.
 func BenchmarkWALAppend(b *testing.B) { benchsuite.WALAppend(b) }
 
+// BenchmarkClusterShipping is the acceptance benchmark for the
+// aggregator's ETag anti-entropy (internal/benchsuite.ClusterShipping):
+// one iteration is one pull round against an in-process summary
+// source. "changed" pays the full blob transfer + decode + absorb;
+// "not-modified" is the 304-only probe the conditional GET reduces
+// unchanged shards to — the gap is the per-round saving. cmd/bench
+// runs the same workloads into the BENCH_*.json receipts.
+func BenchmarkClusterShipping(b *testing.B) {
+	modes := []struct {
+		name string
+		mode benchsuite.ShipMode
+	}{
+		{"changed", benchsuite.ShipChanged},
+		{"not-modified", benchsuite.ShipNotModified},
+	}
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) { benchsuite.ClusterShipping(b, m.mode) })
+	}
+}
+
 // batchQueries builds a 32-query mixed batch over distinct projections.
 func batchQueries() []engine.Query {
 	var qs []engine.Query

@@ -49,6 +49,8 @@ type report struct {
 	Benchmarks  []result  `json:"benchmarks"`
 	// Mixed summarizes the read/write decoupling acceptance numbers.
 	Mixed *mixedSummary `json:"mixed_read_write,omitempty"`
+	// Shipping summarizes the anti-entropy acceptance numbers.
+	Shipping *shipSummary `json:"cluster_shipping,omitempty"`
 }
 
 // mixedSummary compares ingestion throughput under concurrent reads
@@ -67,6 +69,19 @@ type mixedSummary struct {
 	// Reader-observed mean query latency under each mode.
 	EpochReadNsPerOp  float64 `json:"epoch_read_ns_per_op,omitempty"`
 	StrictReadNsPerOp float64 `json:"strict_read_ns_per_op,omitempty"`
+}
+
+// shipSummary compares one aggregator anti-entropy round that ships a
+// changed blob against the 304-only probe for an unchanged shard: the
+// ratio is the per-round cost the conditional GET saves idle sources.
+type shipSummary struct {
+	ChangedNsPerRound     float64 `json:"changed_ns_per_round"`
+	NotModifiedNsPerRound float64 `json:"not_modified_ns_per_round"`
+	// ChangedVsNotModified is changed-round cost as a multiple of the
+	// probe-only round (acceptance: > 1, i.e. unchanged shards are
+	// strictly cheaper than re-shipping).
+	ChangedVsNotModified float64 `json:"changed_vs_not_modified"`
+	BlobBytes            float64 `json:"blob_bytes,omitempty"`
 }
 
 // workload is one named suite entry; perRow marks workloads whose
@@ -99,6 +114,8 @@ func main() {
 		{"mixed/ingest-only", true, func(b *testing.B) { benchsuite.MixedReadWrite(b, benchsuite.MixedIngestOnly) }},
 		{"mixed/epoch-readers", true, func(b *testing.B) { benchsuite.MixedReadWrite(b, benchsuite.MixedEpochReaders) }},
 		{"mixed/strict-readers", true, func(b *testing.B) { benchsuite.MixedReadWrite(b, benchsuite.MixedStrictReaders) }},
+		{"ship/changed", false, func(b *testing.B) { benchsuite.ClusterShipping(b, benchsuite.ShipChanged) }},
+		{"ship/not-modified", false, func(b *testing.B) { benchsuite.ClusterShipping(b, benchsuite.ShipNotModified) }},
 	}
 
 	// testing.Benchmark honours the package-level benchtime flag the
@@ -117,6 +134,8 @@ func main() {
 	}
 	rates := map[string]float64{}
 	readNS := map[string]float64{}
+	nsOp := map[string]float64{}
+	extras := map[string]map[string]float64{}
 	for _, w := range workloads {
 		if *only != "" && !strings.Contains(w.name, *only) {
 			continue
@@ -148,6 +167,8 @@ func main() {
 				readNS[w.name] = v
 			}
 		}
+		nsOp[w.name] = res.NsPerOp
+		extras[w.name] = res.Extra
 		rep.Benchmarks = append(rep.Benchmarks, res)
 		fmt.Fprintf(os.Stderr, " %12.1f ns/op %8d allocs/op", res.NsPerOp, res.AllocsPerOp)
 		if res.RowsPerSec > 0 {
@@ -168,6 +189,17 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "bench: mixed ingest retention — epoch %.3f, strict %.3f (1.0 = read-free ceiling)\n",
 			rep.Mixed.EpochVsIngestOnly, rep.Mixed.StrictVsIngestOnly)
+	}
+
+	if changed, probe := nsOp["ship/changed"], nsOp["ship/not-modified"]; changed > 0 && probe > 0 {
+		rep.Shipping = &shipSummary{
+			ChangedNsPerRound:     changed,
+			NotModifiedNsPerRound: probe,
+			ChangedVsNotModified:  changed / probe,
+			BlobBytes:             extras["ship/changed"]["blob-bytes"],
+		}
+		fmt.Fprintf(os.Stderr, "bench: anti-entropy — changed round costs %.1fx a 304 probe (%.0f-byte blob)\n",
+			rep.Shipping.ChangedVsNotModified, rep.Shipping.BlobBytes)
 	}
 
 	blob, err := json.MarshalIndent(rep, "", "  ")

@@ -1,0 +1,396 @@
+// Command projfreq-router is the client-facing front of a two-tier
+// projfreq cluster. Writers POST row batches to its /v1/observe; the
+// router consistent-hashes every row to one of the ingest daemons
+// (-ingest) and forwards the per-node sub-batches concurrently.
+// Readers hit /v1/query or /v1/summary; the router proxies them to an
+// aggregator (-aggregators) round-robin, failing over to the next one
+// when an aggregator is down.
+//
+// The split mirrors the paper's aggregation model: ingest nodes
+// summarize disjoint row slices (the ring keeps them disjoint),
+// aggregators merge the per-node summaries, and mergeability makes
+// the merged answer identical to a single process that saw every row.
+// The router itself is stateless — no rows, no summaries, no WAL —
+// so any number of routers can front the same cluster and a restarted
+// router needs no recovery.
+//
+// Usage:
+//
+//	projfreq-router -addr :8090 \
+//	    -ingest http://n1:8080,http://n2:8080 \
+//	    -aggregators http://agg:8081
+//
+// Partial ingest is possible when an ingest node is down: the rows
+// owned by live nodes are accepted and the response reports each
+// node's outcome individually with an overall 502, so a client can
+// retry knowing exactly which slice is missing. Rows are hashed by
+// content, so a retried batch re-routes identically.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/words"
+)
+
+// defaultMaxBody matches projfreqd's request-body bound.
+const defaultMaxBody = 1 << 28
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "projfreq-router:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr    = flag.String("addr", ":8090", "listen address")
+		ingest  = flag.String("ingest", "", "comma-separated ingest daemon base URLs (required)")
+		aggs    = flag.String("aggregators", "", "comma-separated aggregator base URLs (required)")
+		timeout = flag.Duration("timeout", 30*time.Second, "per-upstream HTTP timeout")
+	)
+	flag.Parse()
+	if *ingest == "" || *aggs == "" {
+		return errors.New("both -ingest and -aggregators are required")
+	}
+	r, err := newRouter(strings.Split(*ingest, ","), strings.Split(*aggs, ","), *timeout)
+	if err != nil {
+		return err
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           r,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       5 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("projfreq-router: %d ingest nodes, %d aggregators, serving on %s",
+		r.ring.Len(), len(r.aggs), *addr)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		stop()
+		sctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		return httpSrv.Shutdown(sctx)
+	}
+}
+
+// router holds the cluster membership and the forwarding client. It
+// is immutable after construction apart from the counters.
+type router struct {
+	ring   *cluster.Ring
+	aggs   []string
+	client *http.Client
+	mux    *http.ServeMux
+
+	rr atomic.Uint64 // round-robin cursor over aggs
+
+	mu    sync.Mutex
+	stats map[string]*nodeStats
+}
+
+// nodeStats counts one upstream's forwards.
+type nodeStats struct {
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
+}
+
+func newRouter(ingest, aggs []string, timeout time.Duration) (*router, error) {
+	ring, err := cluster.NewRing(normalize(ingest))
+	if err != nil {
+		return nil, fmt.Errorf("ingest tier: %w", err)
+	}
+	a := normalize(aggs)
+	if len(a) == 0 {
+		return nil, errors.New("aggregator tier: no nodes")
+	}
+	sort.Strings(a)
+	r := &router{
+		ring:   ring,
+		aggs:   a,
+		client: &http.Client{Timeout: timeout},
+		mux:    http.NewServeMux(),
+		stats:  make(map[string]*nodeStats),
+	}
+	for _, n := range append(ring.Nodes(), a...) {
+		if r.stats[n] == nil {
+			r.stats[n] = &nodeStats{}
+		}
+	}
+	r.mux.HandleFunc("POST /v1/observe", r.handleObserve)
+	r.mux.HandleFunc("POST /v1/query", r.proxyToAggregator)
+	r.mux.HandleFunc("GET /v1/summary", r.proxyToAggregator)
+	r.mux.HandleFunc("GET /v1/stats", r.handleStats)
+	return r, nil
+}
+
+// normalize trims and deduplicates upstream URLs.
+func normalize(urls []string) []string {
+	seen := make(map[string]bool, len(urls))
+	out := make([]string, 0, len(urls))
+	for _, u := range urls {
+		u = strings.TrimRight(strings.TrimSpace(u), "/")
+		if u != "" && !seen[u] {
+			seen[u] = true
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+func (r *router) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	req.Body = http.MaxBytesReader(w, req.Body, defaultMaxBody)
+	r.mux.ServeHTTP(w, req)
+}
+
+func (r *router) count(node string, failed bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.stats[node]
+	if st == nil {
+		st = &nodeStats{}
+		r.stats[node] = st
+	}
+	st.Requests++
+	if failed {
+		st.Errors++
+	}
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// observeRequest mirrors projfreqd's /v1/observe body.
+type observeRequest struct {
+	Rows [][]uint16 `json:"rows"`
+}
+
+// nodeResult is one ingest node's outcome for its slice of a batch.
+// Accepted counts only rows the node acknowledged: when Error is set,
+// that node's slice was NOT ingested and the client owns the retry.
+type nodeResult struct {
+	Node     string `json:"node"`
+	Rows     int    `json:"rows"`
+	Accepted int    `json:"accepted"`
+	Error    string `json:"error,omitempty"`
+}
+
+// observeResponse reports the fan-out's outcome. Accepted < Rows
+// (with Partial=true and status 502) means some nodes rejected or
+// were unreachable; Results says which.
+type observeResponse struct {
+	Rows     int          `json:"rows"`
+	Accepted int          `json:"accepted"`
+	Partial  bool         `json:"partial,omitempty"`
+	Results  []nodeResult `json:"results"`
+}
+
+func (r *router) handleObserve(w http.ResponseWriter, req *http.Request) {
+	var body observeRequest
+	if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+		status := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		httpError(w, status, fmt.Errorf("decoding rows: %w", err))
+		return
+	}
+	if len(body.Rows) == 0 {
+		httpError(w, http.StatusBadRequest, errors.New("empty batch"))
+		return
+	}
+	// The router is shape-agnostic: it takes the dimension from the
+	// batch itself (symbol validation stays with the ingest daemons,
+	// which know the alphabet). It only insists the batch is rectangular
+	// — a ragged batch cannot be partitioned coherently.
+	d := len(body.Rows[0])
+	if d == 0 {
+		httpError(w, http.StatusBadRequest, errors.New("zero-length rows"))
+		return
+	}
+	batch := words.NewBatch(d, len(body.Rows))
+	for i, row := range body.Rows {
+		if len(row) != d {
+			httpError(w, http.StatusBadRequest,
+				fmt.Errorf("row %d has %d symbols, row 0 has %d", i, len(row), d))
+			return
+		}
+		copy(batch.AppendRow(), row)
+	}
+
+	parts := r.ring.PartitionBatch(batch)
+	results := make([]nodeResult, 0, len(parts))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for node, part := range parts {
+		wg.Add(1)
+		go func(node string, part *words.Batch) {
+			defer wg.Done()
+			res := r.forwardObserve(node, part)
+			mu.Lock()
+			results = append(results, res)
+			mu.Unlock()
+		}(node, part)
+	}
+	wg.Wait()
+	sort.Slice(results, func(i, j int) bool { return results[i].Node < results[j].Node })
+
+	resp := observeResponse{Rows: batch.Len(), Results: results}
+	for _, res := range results {
+		resp.Accepted += res.Accepted
+		if res.Error != "" {
+			resp.Partial = true
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if resp.Partial {
+		// 502, not 500: the router did its job; an upstream did not.
+		// The body still carries every node's outcome so the client can
+		// retry just the missing slice (content-hashed rows re-route
+		// identically).
+		w.WriteHeader(http.StatusBadGateway)
+	}
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// forwardObserve ships one node's sub-batch to its /v1/observe.
+func (r *router) forwardObserve(node string, part *words.Batch) nodeResult {
+	res := nodeResult{Node: node, Rows: part.Len()}
+	rows := make([][]uint16, part.Len())
+	for i := range rows {
+		rows[i] = part.Row(i)
+	}
+	blob, err := json.Marshal(observeRequest{Rows: rows})
+	if err != nil {
+		res.Error = err.Error()
+		r.count(node, true)
+		return res
+	}
+	resp, err := r.client.Post(node+"/v1/observe", "application/json", bytes.NewReader(blob))
+	if err != nil {
+		res.Error = err.Error()
+		r.count(node, true)
+		return res
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode != http.StatusOK {
+		res.Error = fmt.Sprintf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(out)))
+		r.count(node, true)
+		return res
+	}
+	var ack struct {
+		Accepted int `json:"accepted"`
+	}
+	if err := json.Unmarshal(out, &ack); err != nil {
+		res.Error = fmt.Sprintf("bad ack: %v", err)
+		r.count(node, true)
+		return res
+	}
+	res.Accepted = ack.Accepted
+	r.count(node, false)
+	return res
+}
+
+// proxyToAggregator forwards a read (/v1/query, /v1/summary) to an
+// aggregator, starting at the round-robin cursor and failing over to
+// the next on transport errors. Upstream HTTP statuses (including
+// 304 for conditional summary GETs) pass through verbatim — only
+// unreachable aggregators trigger failover.
+func (r *router) proxyToAggregator(w http.ResponseWriter, req *http.Request) {
+	body, err := io.ReadAll(req.Body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	start := int(r.rr.Add(1)-1) % len(r.aggs)
+	var lastErr error
+	for i := 0; i < len(r.aggs); i++ {
+		agg := r.aggs[(start+i)%len(r.aggs)]
+		out, err := http.NewRequest(req.Method, agg+req.URL.Path, bytes.NewReader(body))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		// Conditional-GET headers must survive the hop or every summary
+		// poll through the router ships a full blob.
+		for _, h := range []string{"If-None-Match", "Content-Type", "Accept"} {
+			if v := req.Header.Get(h); v != "" {
+				out.Header.Set(h, v)
+			}
+		}
+		resp, err := r.client.Do(out)
+		if err != nil {
+			lastErr = err
+			r.count(agg, true)
+			continue
+		}
+		r.count(agg, false)
+		for k, vs := range resp.Header {
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		w.Header().Set("X-Routed-To", agg)
+		w.WriteHeader(resp.StatusCode)
+		_, _ = io.Copy(w, resp.Body)
+		resp.Body.Close()
+		return
+	}
+	httpError(w, http.StatusBadGateway, fmt.Errorf("no aggregator reachable: %w", lastErr))
+}
+
+// statsResponse is the router's own /v1/stats body.
+type statsResponse struct {
+	Role        string                `json:"role"`
+	Ingest      []string              `json:"ingest"`
+	Aggregators []string              `json:"aggregators"`
+	Nodes       map[string]*nodeStats `json:"nodes"`
+}
+
+func (r *router) handleStats(w http.ResponseWriter, req *http.Request) {
+	r.mu.Lock()
+	nodes := make(map[string]*nodeStats, len(r.stats))
+	for k, v := range r.stats {
+		cp := *v
+		nodes[k] = &cp
+	}
+	r.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(statsResponse{
+		Role:        "router",
+		Ingest:      r.ring.Nodes(),
+		Aggregators: r.aggs,
+		Nodes:       nodes,
+	})
+}

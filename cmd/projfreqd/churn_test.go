@@ -1,0 +1,242 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// condGet does a conditional GET of /v1/summary and returns status,
+// ETag, and body.
+func condGet(t *testing.T, url, inm string) (int, string, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url+"/v1/summary", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inm != "" {
+		req.Header.Set("If-None-Match", inm)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header.Get("ETag"), body
+}
+
+// blobRows decodes a summary blob and returns its row count.
+func blobRows(t *testing.T, blob []byte) int64 {
+	t.Helper()
+	sum, err := core.UnmarshalSummary(blob)
+	if err != nil {
+		t.Fatalf("decoding exported blob: %v", err)
+	}
+	return sum.Rows()
+}
+
+// TestSummaryETagChurnsOnPushAbsorb pins the absorb half of the ETag
+// contract: the tag must change after an absorbed /v1/push exactly as
+// it does after local observes, and a client revalidating a pre-push
+// tag must get the post-absorb blob, never a 304 for state that no
+// longer matches its cache.
+func TestSummaryETagChurnsOnPushAbsorb(t *testing.T) {
+	const d, q, seed = 6, 3, 11
+	ts, _ := startDaemon(t, "exact", d, q, seed)
+	observeRows(t, ts.URL, d, q, 20, 0)
+
+	status, tag, blob := condGet(t, ts.URL, "")
+	if status != http.StatusOK || tag == "" {
+		t.Fatalf("baseline export: %d, tag %q", status, tag)
+	}
+	if got := blobRows(t, blob); got != 20 {
+		t.Fatalf("baseline blob has %d rows, want 20", got)
+	}
+
+	// Sanity: the tag validates before the push.
+	if status, _, _ := condGet(t, ts.URL, tag); status != http.StatusNotModified {
+		t.Fatalf("pre-push revalidation: %d, want 304", status)
+	}
+
+	remote, _ := remoteWriter(t, "exact", d, q, 300, seed, 5)
+	resp, err := http.Post(ts.URL+"/v1/push", "application/octet-stream", bytes.NewReader(remote))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("push: %d", resp.StatusCode)
+	}
+
+	// The pre-push tag must now miss, and the served blob must carry
+	// the absorbed rows.
+	status, tag2, blob2 := condGet(t, ts.URL, tag)
+	if status != http.StatusNotModified && status != http.StatusOK {
+		t.Fatalf("post-push revalidation: %d", status)
+	}
+	if status == http.StatusNotModified {
+		t.Fatal("post-push revalidation answered 304: a client would keep serving the pre-absorb blob")
+	}
+	if tag2 == tag {
+		t.Fatal("push absorbed but the summary ETag did not change")
+	}
+	if got := blobRows(t, blob2); got != 320 {
+		t.Fatalf("post-push blob has %d rows, want 320", got)
+	}
+}
+
+// TestSummaryETagPushUnderStalenessBudget is the sharper variant: a
+// huge staleness budget lets the daemon keep serving an old epoch for
+// local rows, but absorbed state is never served stale — so even
+// under budget, a push must invalidate the old tag immediately and
+// the next export must carry the pushed rows.
+func TestSummaryETagPushUnderStalenessBudget(t *testing.T) {
+	const d, q, seed = 6, 3, 11
+	ts, _ := startDaemonWithConfig(t, "exact", d, q, seed, engine.Config{
+		Shards:           2,
+		MaxStalenessRows: 1 << 30,
+	})
+	observeRows(t, ts.URL, d, q, 20, 0)
+	status, tag, _ := condGet(t, ts.URL, "")
+	if status != http.StatusOK {
+		t.Fatalf("baseline export: %d", status)
+	}
+
+	// Local rows within budget do NOT churn the tag (the cached blob
+	// is still exactly what the daemon would serve) — the baseline the
+	// push case must differ from.
+	observeRows(t, ts.URL, d, q, 30, 3)
+	if status, _, _ := condGet(t, ts.URL, tag); status != http.StatusNotModified {
+		t.Fatalf("within-budget revalidation: %d, want 304", status)
+	}
+
+	remote, _ := remoteWriter(t, "exact", d, q, 300, seed, 5)
+	resp, err := http.Post(ts.URL+"/v1/push", "application/octet-stream", bytes.NewReader(remote))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("push: %d", resp.StatusCode)
+	}
+
+	// The budget must not hide the absorb: old tag misses, new blob
+	// carries everything (the epoch rebuild sweeps in the budgeted
+	// local rows too).
+	status, tag2, blob := condGet(t, ts.URL, tag)
+	if status != http.StatusOK {
+		t.Fatalf("post-push revalidation under budget: %d, want 200", status)
+	}
+	if tag2 == tag {
+		t.Fatal("push under a staleness budget did not churn the ETag")
+	}
+	if got := blobRows(t, blob); got != 350 {
+		t.Fatalf("post-push blob has %d rows, want 350 (20+30 local, 300 pushed)", got)
+	}
+}
+
+// TestConcurrentPushObserveRead hammers one daemon with concurrent
+// /v1/observe batches, /v1/push absorbs, and budgeted readers
+// (summary exports + queries). It asserts only invariants that hold
+// under any interleaving — handler status codes and the final row
+// clock — and exists chiefly as a -race target for the absorb ↔
+// epoch-publish ↔ conditional-GET interplay (CI runs this package
+// under the race detector).
+func TestConcurrentPushObserveRead(t *testing.T) {
+	const d, q, seed = 6, 3, 11
+	const (
+		observers     = 2
+		obsBatches    = 25
+		rowsPerBatch  = 20
+		pushers       = 2
+		pushesEach    = 10
+		rowsPerPush   = 30
+		readersEach   = 40
+		readerThreads = 2
+	)
+	ts, eng := startDaemonWithConfig(t, "exact", d, q, seed, engine.Config{
+		Shards:           2,
+		MaxStalenessRows: 100,
+	})
+
+	blob, _ := remoteWriter(t, "exact", d, q, rowsPerPush, seed, 5)
+	var wg sync.WaitGroup
+	fail := make(chan string, observers+pushers+readerThreads)
+	for g := 0; g < observers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < obsBatches; i++ {
+				observeRows(t, ts.URL, d, q, rowsPerBatch, g*1000+i)
+			}
+		}(g)
+	}
+	for g := 0; g < pushers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < pushesEach; i++ {
+				resp, err := http.Post(ts.URL+"/v1/push", "application/octet-stream", bytes.NewReader(blob))
+				if err != nil {
+					fail <- err.Error()
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					fail <- resp.Status
+					return
+				}
+			}
+		}()
+	}
+	for g := 0; g < readerThreads; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tag := ""
+			for i := 0; i < readersEach; i++ {
+				req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/summary", nil)
+				if tag != "" {
+					req.Header.Set("If-None-Match", tag)
+				}
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					fail <- err.Error()
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNotModified {
+					fail <- resp.Status
+					return
+				}
+				tag = resp.Header.Get("ETag")
+			}
+		}()
+	}
+	wg.Wait()
+	close(fail)
+	for msg := range fail {
+		t.Fatalf("concurrent handler failed: %s", msg)
+	}
+
+	// Quiesce and check the row clock: every observed and pushed row
+	// is accounted for exactly once.
+	want := int64(observers*obsBatches*rowsPerBatch + pushers*pushesEach*rowsPerPush)
+	snap, err := eng.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Rows() != want {
+		t.Fatalf("final row clock %d, want %d", snap.Rows(), want)
+	}
+}

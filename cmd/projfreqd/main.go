@@ -62,6 +62,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/registry"
@@ -100,8 +101,20 @@ func run() error {
 		ckEvery  = flag.Duration("checkpoint-interval", 5*time.Minute, "checkpoint at least this often while data arrives (0 disables the timer)")
 		staleDur = flag.Duration("max-staleness", 0, "serve reads from a snapshot at most this old (0 = always fresh; see README for the consistency caveat)")
 		staleRow = flag.Int64("max-staleness-rows", 0, "serve reads from a snapshot missing at most this many rows (0 = always fresh)")
+		pullFrom = flag.String("pull-from", "", "comma-separated ingest-node base URLs to pull summaries from (makes this daemon an aggregator)")
+		pullIvl  = flag.Duration("pull-interval", time.Second, "anti-entropy pull cadence (aggregator only)")
+		pullTO   = flag.Duration("pull-timeout", 10*time.Second, "per-pull HTTP timeout (aggregator only)")
 	)
 	flag.Parse()
+
+	if *pullFrom != "" && *dataDir != "" {
+		// Aggregator state is soft: pulled summaries live outside the
+		// WAL/checkpoint cut, so a durable aggregator would recover a
+		// state missing every source and silently under-count until the
+		// operator noticed. Re-pulling after a restart is the recovery
+		// path; refuse the combination instead of half-honoring it.
+		return errors.New("-pull-from and -data-dir are mutually exclusive: aggregator state is re-pulled on restart, not recovered from disk")
+	}
 
 	var wal *store.Store
 	if *dataDir != "" {
@@ -153,6 +166,15 @@ func run() error {
 	defer stop()
 	if wal != nil {
 		go srv.checkpointLoop(ctx, *ckRows, *ckEvery)
+	}
+	if *pullFrom != "" {
+		puller, err := cluster.NewPuller(strings.Split(*pullFrom, ","), srv, *pullTO)
+		if err != nil {
+			return err
+		}
+		srv.puller = puller
+		go puller.Run(ctx, *pullIvl)
+		log.Printf("projfreqd: aggregator pulling from %v every %v", puller.Sources(), *pullIvl)
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
@@ -263,6 +285,11 @@ type server struct {
 	// cfgTag fingerprints the daemon configuration for the summary
 	// ETag (see summaryETag).
 	cfgTag uint32
+	// puller runs ETag anti-entropy from ingest peers when the daemon
+	// is an aggregator (-pull-from); nil otherwise. Pulled state lives
+	// in the engine's source map — soft by design, so aggregators
+	// refuse -data-dir and reconverge by re-pulling after a restart.
+	puller *cluster.Puller
 }
 
 // newServer wires the endpoint routes around the engine.
@@ -477,6 +504,41 @@ type pushResponse struct {
 	Rows       int64 `json:"rows"`
 }
 
+// pushConflict maps an incompatible-merge failure to its 409 body. A
+// structural subspace mismatch gets a typed body naming both sides'
+// column sets, so the pushing client can see which columnsets differ
+// instead of parsing prose; every other shape conflict keeps the plain
+// error envelope.
+func pushConflict(w http.ResponseWriter, err error) {
+	var mm *registry.SubspaceMismatchError
+	if !errors.As(err, &mm) {
+		httpError(w, http.StatusConflict, err)
+		return
+	}
+	cols := func(sets []words.ColumnSet) [][]int {
+		out := make([][]int, len(sets))
+		for i, c := range sets {
+			out[i] = c.Columns()
+		}
+		return out
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusConflict)
+	_ = json.NewEncoder(w).Encode(struct {
+		Error          string  `json:"error"`
+		Code           string  `json:"code"`
+		LocalSubspaces [][]int `json:"local_subspaces"`
+		DonorSubspaces [][]int `json:"donor_subspaces"`
+		BareDonor      string  `json:"bare_donor,omitempty"`
+	}{
+		Error:          err.Error(),
+		Code:           "subspace_mismatch",
+		LocalSubspaces: cols(mm.Receiver),
+		DonorSubspaces: cols(mm.Donor),
+		BareDonor:      mm.BareDonor,
+	})
+}
+
 func (s *server) handlePush(w http.ResponseWriter, r *http.Request) {
 	blob, err := io.ReadAll(r.Body)
 	if err != nil {
@@ -493,14 +555,28 @@ func (s *server) handlePush(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.eng.Absorb(sum); err != nil {
-		status := http.StatusInternalServerError
 		if errors.Is(err, core.ErrIncompatibleMerge) {
-			status = http.StatusConflict
+			pushConflict(w, err)
+			return
 		}
-		httpError(w, status, err)
+		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
 	writeJSON(w, pushResponse{RowsMerged: sum.Rows(), Rows: s.eng.Rows()})
+}
+
+// ApplySource implements cluster.Applier: a pulled peer snapshot is
+// decoded and installed under the source's URL with replace semantics
+// (AbsorbSource), so re-pulling a peer's cumulative snapshot
+// supersedes the previous pull instead of double-counting it — the
+// difference between this path and /v1/push, whose donors are folded
+// in cumulatively.
+func (s *server) ApplySource(source string, blob []byte) error {
+	sum, err := core.UnmarshalSummary(blob)
+	if err != nil {
+		return err
+	}
+	return s.eng.AbsorbSource(source, sum)
 }
 
 // summaryETag versions the exported summary: the wire version, a
@@ -702,6 +778,11 @@ type epochJSON struct {
 	Rows          int64   `json:"rows"`
 	StalenessRows int64   `json:"staleness_rows"`
 	AgeMS         float64 `json:"age_ms"`
+	// MergedRows is the total row count the epoch serves: local rows
+	// plus rows inside absorbed source summaries. On an aggregator this
+	// is the convergence clock the cluster harness watches; on a plain
+	// daemon it equals Rows.
+	MergedRows int64 `json:"merged_rows"`
 }
 
 // epochFromInfo converts the engine's view into the wire block.
@@ -711,6 +792,7 @@ func epochFromInfo(info engine.EpochInfo) *epochJSON {
 		Rows:          info.Rows,
 		StalenessRows: info.StalenessRows,
 		AgeMS:         float64(info.Age) / float64(time.Millisecond),
+		MergedRows:    info.MergedRows,
 	}
 }
 
@@ -800,6 +882,16 @@ type statsResponse struct {
 	Wire      int             `json:"wire_version"`
 	Epoch     *epochJSON      `json:"epoch,omitempty"`
 	Store     *storeStatsJSON `json:"store,omitempty"`
+	Cluster   *clusterJSON    `json:"cluster,omitempty"`
+}
+
+// clusterJSON is the anti-entropy block of /v1/stats, present only on
+// aggregators (-pull-from). The per-source counters are what the
+// cluster tests read to prove that idle sources cost 304 probes, not
+// blob transfers.
+type clusterJSON struct {
+	Role    string                `json:"role"`
+	Sources []cluster.SourceStats `json:"sources"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -828,6 +920,9 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Checkpoints:   st.Checkpoints,
 			CheckpointLSN: st.CheckpointLSN,
 		}
+	}
+	if s.puller != nil {
+		resp.Cluster = &clusterJSON{Role: "aggregator", Sources: s.puller.Stats()}
 	}
 	writeJSON(w, resp)
 }

@@ -1,0 +1,123 @@
+package benchsuite
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// ShipMode selects which half of the anti-entropy cost ClusterShipping
+// measures.
+type ShipMode int
+
+const (
+	// ShipChanged: every round finds fresh source state, so each
+	// iteration pays the full shipping path — conditional GET, blob
+	// transfer, envelope decode, and source absorb into the aggregator
+	// engine.
+	ShipChanged ShipMode = iota
+	// ShipNotModified: the source is idle, so each iteration is one
+	// If-None-Match probe answered 304 — the steady-state cost of an
+	// anti-entropy round that ships nothing.
+	ShipNotModified
+)
+
+// shipBlob marshals the bench engine's merged summary — a realistic
+// /v1/summary payload (bounded reservoir state at d=16, same shape the
+// other benches ingest into).
+func shipBlob(b *testing.B) []byte {
+	b.Helper()
+	src := benchEngine(b, engine.Config{})
+	defer src.Close()
+	src.ObserveBatch(benchRows().Slice(0, benchPool))
+	sum, err := src.Flush()
+	if err != nil {
+		b.Fatal(err)
+	}
+	blob, err := core.MarshalSummary(sum)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return blob
+}
+
+// ClusterShipping times one aggregator anti-entropy round against an
+// in-process ingest stand-in: an HTTP source serving a fixed summary
+// blob under an epoch-seq ETag, pulled by the same cluster.Puller +
+// AbsorbSource applier the projfreqd aggregator role runs. One
+// iteration is one PullOnce round. In ShipChanged mode the source's
+// ETag advances before every round (the blob bytes are identical —
+// what varies between real epochs is content, not size — so the
+// measured cost is transfer + decode + absorb, not marshalling); in
+// ShipNotModified mode the ETag never moves after the priming pull, so
+// ns/op is the pure probe cost the conditional-GET protocol pays for
+// unchanged shards. The gap between the two modes is the per-round
+// saving the ETag anti-entropy buys.
+func ClusterShipping(b *testing.B, mode ShipMode) {
+	blob := shipBlob(b)
+	rowsHdr := fmt.Sprint(benchPool)
+	var seq atomic.Uint64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tag := fmt.Sprintf(`"bench-%d"`, seq.Load())
+		w.Header().Set("ETag", tag)
+		w.Header().Set("X-Epoch-Rows", rowsHdr)
+		if r.Header.Get("If-None-Match") == tag {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		_, _ = w.Write(blob)
+	}))
+	defer ts.Close()
+
+	agg := benchEngine(b, engine.Config{})
+	defer agg.Close()
+	puller, err := cluster.NewPuller([]string{ts.URL}, cluster.ApplierFunc(func(source string, body []byte) error {
+		sum, err := core.UnmarshalSummary(body)
+		if err != nil {
+			return err
+		}
+		return agg.AbsorbSource(source, sum)
+	}), 30*time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := puller.PullOnce(ctx); err != nil { // prime the stored ETag
+		b.Fatal(err)
+	}
+	if mode == ShipChanged {
+		b.SetBytes(int64(len(blob)))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if mode == ShipChanged {
+			seq.Add(1)
+		}
+		if err := puller.PullOnce(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := puller.Stats()[0]
+	switch mode {
+	case ShipChanged:
+		if st.Changed < int64(b.N) {
+			b.Fatalf("changed mode shipped %d blobs over %d rounds", st.Changed, b.N)
+		}
+	case ShipNotModified:
+		if st.NotModified < int64(b.N) {
+			b.Fatalf("not-modified mode got %d 304s over %d rounds", st.NotModified, b.N)
+		}
+	}
+	b.ReportMetric(float64(len(blob)), "blob-bytes")
+}

@@ -1,0 +1,225 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Applier is the aggregator-side sink for pulled summaries. The
+// engine's AbsorbSource is the intended implementation: blobs are
+// cumulative snapshots, so applying a source's newer blob must
+// replace its older one, never accumulate.
+type Applier interface {
+	ApplySource(source string, blob []byte) error
+}
+
+// ApplierFunc adapts a function to the Applier interface.
+type ApplierFunc func(source string, blob []byte) error
+
+// ApplySource implements Applier.
+func (f ApplierFunc) ApplySource(source string, blob []byte) error { return f(source, blob) }
+
+// SourceStats is one source's anti-entropy counters, read off a
+// Puller for the daemon's /v1/stats and for the cluster tests (which
+// assert that an idle source costs not-modified probes, not blob
+// transfers).
+type SourceStats struct {
+	URL string `json:"url"`
+	// ETag is the validator of the last blob successfully applied
+	// (empty until the first successful pull).
+	ETag string `json:"etag,omitempty"`
+	// Pulls counts conditional GET attempts.
+	Pulls int64 `json:"pulls"`
+	// Changed counts 200 responses whose blob was applied.
+	Changed int64 `json:"changed"`
+	// NotModified counts 304 responses (state unchanged since the
+	// held ETag — no body transferred).
+	NotModified int64 `json:"not_modified"`
+	// Errors counts failed attempts: transport errors, non-200/304
+	// statuses, and blobs the Applier refused.
+	Errors int64 `json:"errors"`
+	// LastError is the most recent failure, cleared by the next
+	// successful attempt.
+	LastError string `json:"last_error,omitempty"`
+	// Rows is the row count the source's last applied blob reported
+	// via the daemon's X-Epoch-Rows header (0 if absent).
+	Rows int64 `json:"rows"`
+}
+
+// Puller runs conditional-GET anti-entropy: each source's /v1/summary
+// is fetched with If-None-Match set to the last applied ETag, so an
+// unchanged source answers 304 with no body and only changed shards
+// ship. The pull model keeps ingest nodes passive (they only serve
+// their existing summary endpoint) and makes aggregator state soft:
+// a restarted aggregator starts with no ETags and re-pulls everything.
+type Puller struct {
+	apply   Applier
+	client  *http.Client
+	sources []string
+
+	mu    sync.Mutex
+	state map[string]*SourceStats
+}
+
+// NewPuller builds a puller over the given source base URLs (scheme
+// and host, no path — "/v1/summary" is appended). URLs are
+// deduplicated and sorted; at least one is required.
+func NewPuller(sources []string, apply Applier, timeout time.Duration) (*Puller, error) {
+	if apply == nil {
+		return nil, errors.New("cluster: nil Applier")
+	}
+	seen := make(map[string]bool, len(sources))
+	uniq := make([]string, 0, len(sources))
+	for _, s := range sources {
+		s = strings.TrimRight(strings.TrimSpace(s), "/")
+		if s == "" {
+			return nil, errors.New("cluster: empty source URL")
+		}
+		if !seen[s] {
+			seen[s] = true
+			uniq = append(uniq, s)
+		}
+	}
+	if len(uniq) == 0 {
+		return nil, errors.New("cluster: puller needs at least one source")
+	}
+	sort.Strings(uniq)
+	p := &Puller{
+		apply:   apply,
+		client:  &http.Client{Timeout: timeout},
+		sources: uniq,
+		state:   make(map[string]*SourceStats, len(uniq)),
+	}
+	for _, s := range uniq {
+		p.state[s] = &SourceStats{URL: s}
+	}
+	return p, nil
+}
+
+// Sources returns the configured source URLs, sorted.
+func (p *Puller) Sources() []string {
+	out := make([]string, len(p.sources))
+	copy(out, p.sources)
+	return out
+}
+
+// Stats returns a snapshot of every source's counters, sorted by URL.
+func (p *Puller) Stats() []SourceStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]SourceStats, 0, len(p.sources))
+	for _, s := range p.sources {
+		out = append(out, *p.state[s])
+	}
+	return out
+}
+
+// PullOnce runs one anti-entropy round: every source is probed (a
+// failure on one does not skip the rest) and the first error, if any,
+// is returned after the round completes. Sources are probed
+// sequentially in sorted order — rounds are about convergence, not
+// latency, and sequential probes keep the aggregator's absorb
+// ordering deterministic for the tests.
+func (p *Puller) PullOnce(ctx context.Context) error {
+	var first error
+	for _, src := range p.sources {
+		if err := p.pullSource(ctx, src); err != nil && first == nil {
+			first = err
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+	}
+	return first
+}
+
+// pullSource probes one source with a conditional GET and applies the
+// blob on 200. The stored ETag advances only after the Applier
+// accepts the blob: if Apply fails, the next round re-pulls the same
+// state instead of recording it as converged.
+func (p *Puller) pullSource(ctx context.Context, src string) error {
+	p.mu.Lock()
+	st := p.state[src]
+	etag := st.ETag
+	st.Pulls++
+	p.mu.Unlock()
+
+	fail := func(err error) error {
+		p.mu.Lock()
+		st.Errors++
+		st.LastError = err.Error()
+		p.mu.Unlock()
+		return err
+	}
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, src+"/v1/summary", nil)
+	if err != nil {
+		return fail(fmt.Errorf("cluster: pull %s: %w", src, err))
+	}
+	if etag != "" {
+		req.Header.Set("If-None-Match", etag)
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return fail(fmt.Errorf("cluster: pull %s: %w", src, err))
+	}
+	defer resp.Body.Close()
+
+	switch resp.StatusCode {
+	case http.StatusNotModified:
+		p.mu.Lock()
+		st.NotModified++
+		st.LastError = ""
+		p.mu.Unlock()
+		return nil
+	case http.StatusOK:
+		// fall through to apply
+	default:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fail(fmt.Errorf("cluster: pull %s: status %d: %s", src, resp.StatusCode, strings.TrimSpace(string(body))))
+	}
+
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fail(fmt.Errorf("cluster: pull %s: reading body: %w", src, err))
+	}
+	if err := p.apply.ApplySource(src, blob); err != nil {
+		return fail(fmt.Errorf("cluster: pull %s: applying: %w", src, err))
+	}
+	var rows int64
+	fmt.Sscanf(resp.Header.Get("X-Epoch-Rows"), "%d", &rows)
+	p.mu.Lock()
+	st.Changed++
+	st.ETag = resp.Header.Get("ETag")
+	st.Rows = rows
+	st.LastError = ""
+	p.mu.Unlock()
+	return nil
+}
+
+// Run pulls on the given cadence until ctx is done. The first round
+// runs immediately (an aggregator should serve data as soon as its
+// sources have any), later rounds on the interval tick. Errors are
+// recorded in the per-source stats and otherwise ignored — transient
+// source outages are expected during node restarts, and the next
+// round retries.
+func (p *Puller) Run(ctx context.Context, interval time.Duration) {
+	_ = p.PullOnce(ctx)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			_ = p.PullOnce(ctx)
+		}
+	}
+}

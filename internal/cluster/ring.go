@@ -1,0 +1,144 @@
+// Package cluster holds the pieces of the two-tier projfreqd
+// topology: a consistent-hash ring that partitions the row stream
+// across ingest nodes (used by projfreq-router), and a Puller that
+// runs ETag-driven anti-entropy from ingest nodes into an aggregator
+// (used by projfreqd's -pull-from mode).
+//
+// The paper's mergeability theorem is what makes the topology sound:
+// each ingest node summarizes a disjoint slice of the stream, and an
+// aggregator that merges the per-node summaries answers projected
+// frequency queries exactly as if one process had seen every row. The
+// ring only has to keep the slices disjoint — any row-to-node map
+// works — so it optimizes for the operational property instead:
+// adding or removing one node remaps only ~1/N of the key space.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/hashing"
+	"repro/internal/words"
+)
+
+// vnodesPerNode is the number of ring positions each node occupies.
+// More vnodes smooth the partition sizes (the standard deviation of a
+// node's share shrinks like 1/sqrt(vnodes)) at the cost of a larger
+// sorted array to binary-search; 64 keeps the imbalance under a few
+// percent for small clusters while the ring stays a few KB.
+const vnodesPerNode = 64
+
+// Ring is an immutable consistent-hash ring over named nodes. It is
+// deterministic: two processes given the same node list (in any
+// order) build identical rings and route every row identically —
+// which is what lets the cluster test harness recompute the router's
+// partition from outside the router process.
+type Ring struct {
+	nodes  []string // sorted, deduplicated
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash uint64
+	node int // index into nodes
+}
+
+// NewRing builds a ring over the given node names (typically base
+// URLs). Names are deduplicated; order does not matter. At least one
+// node is required.
+func NewRing(nodes []string) (*Ring, error) {
+	seen := make(map[string]bool, len(nodes))
+	uniq := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			return nil, errors.New("cluster: empty node name")
+		}
+		if !seen[n] {
+			seen[n] = true
+			uniq = append(uniq, n)
+		}
+	}
+	if len(uniq) == 0 {
+		return nil, errors.New("cluster: ring needs at least one node")
+	}
+	sort.Strings(uniq)
+	r := &Ring{nodes: uniq, points: make([]ringPoint, 0, len(uniq)*vnodesPerNode)}
+	for i, n := range uniq {
+		for v := 0; v < vnodesPerNode; v++ {
+			h := hashing.Fingerprint64([]byte(fmt.Sprintf("%s#%d", n, v)))
+			r.points = append(r.points, ringPoint{hash: h, node: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Ties (astronomically rare for 64-bit fingerprints) break by
+		// node index so the ring stays order-independent.
+		return r.points[a].node < r.points[b].node
+	})
+	return r, nil
+}
+
+// Nodes returns the ring's node names, sorted.
+func (r *Ring) Nodes() []string {
+	out := make([]string, len(r.nodes))
+	copy(out, r.nodes)
+	return out
+}
+
+// Len returns the number of distinct nodes.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Owner returns the node owning the given key hash: the first ring
+// point clockwise from it.
+func (r *Ring) Owner(h uint64) string {
+	pts := r.points
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].hash >= h })
+	if i == len(pts) {
+		i = 0
+	}
+	return r.nodes[pts[i].node]
+}
+
+// RowKey hashes one row of symbols to its ring coordinate. The key is
+// the row's symbol content, so the same row always lands on the same
+// node regardless of arrival order or batch boundaries — duplicate
+// rows concentrate on one owner instead of smearing, and the cluster
+// test harness can recompute every row's owner offline.
+func RowKey(row []uint16) uint64 {
+	buf := make([]byte, 2*len(row))
+	for i, sym := range row {
+		buf[2*i] = byte(sym)
+		buf[2*i+1] = byte(sym >> 8)
+	}
+	return hashing.Fingerprint64(buf)
+}
+
+// OwnerOfRow is Owner(RowKey(row)).
+func (r *Ring) OwnerOfRow(row []uint16) string {
+	return r.Owner(RowKey(row))
+}
+
+// PartitionBatch splits a batch into per-node sub-batches, keyed by
+// node name; nodes owning no rows of the batch are absent from the
+// map. Row order within each sub-batch preserves the input order,
+// which keeps each ingest node's WAL order a subsequence of the
+// client's stream order.
+func (r *Ring) PartitionBatch(b *words.Batch) map[string]*words.Batch {
+	out := make(map[string]*words.Batch, r.Len())
+	for i := 0; i < b.Len(); i++ {
+		row := b.Row(i)
+		node := r.OwnerOfRow(row)
+		part := out[node]
+		if part == nil {
+			part = words.NewBatch(b.Dim(), 0)
+			out[node] = part
+		}
+		part.Append(row)
+	}
+	return out
+}

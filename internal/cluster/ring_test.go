@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/words"
+)
+
+func testRing(t *testing.T, nodes ...string) *Ring {
+	t.Helper()
+	r, err := NewRing(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestRingDeterministic pins the property the cluster test harness
+// leans on: the ring is a pure function of the node set, independent
+// of list order and duplicates.
+func TestRingDeterministic(t *testing.T) {
+	a := testRing(t, "http://n1", "http://n2", "http://n3")
+	b := testRing(t, "http://n3", "http://n1", "http://n2", "http://n1")
+	for i := 0; i < 1000; i++ {
+		row := []uint16{uint16(i % 7), uint16(i % 5), uint16(i % 3)}
+		if a.OwnerOfRow(row) != b.OwnerOfRow(row) {
+			t.Fatalf("row %d: owners differ across equivalent rings", i)
+		}
+	}
+}
+
+// TestRingCoversAllNodesRoughlyEvenly checks every node owns a
+// non-trivial share of a uniform key stream — the vnode count is
+// doing its smoothing job.
+func TestRingCoversAllNodesRoughlyEvenly(t *testing.T) {
+	nodes := []string{"http://a", "http://b", "http://c", "http://d"}
+	r := testRing(t, nodes...)
+	counts := make(map[string]int)
+	const total = 8000
+	for i := 0; i < total; i++ {
+		row := []uint16{uint16(i), uint16(i >> 8), uint16(i * 31)}
+		counts[r.OwnerOfRow(row)]++
+	}
+	for _, n := range nodes {
+		share := float64(counts[n]) / total
+		if share < 0.10 || share > 0.45 {
+			t.Fatalf("node %s owns %.1f%% of keys: %v", n, 100*share, counts)
+		}
+	}
+}
+
+// TestRingStability checks the consistent-hashing contract: removing
+// one node only remaps the keys that node owned.
+func TestRingStability(t *testing.T) {
+	full := testRing(t, "http://a", "http://b", "http://c")
+	reduced := testRing(t, "http://a", "http://b")
+	moved := 0
+	const total = 4000
+	for i := 0; i < total; i++ {
+		row := []uint16{uint16(i), uint16(i / 3), uint16(i % 11)}
+		before := full.OwnerOfRow(row)
+		after := reduced.OwnerOfRow(row)
+		if before != "http://c" && before != after {
+			t.Fatalf("row %d moved from surviving node %s to %s", i, before, after)
+		}
+		if before == "http://c" {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed node owned no keys — test proves nothing")
+	}
+}
+
+// TestPartitionBatch checks the split is exhaustive, disjoint, and
+// order-preserving per node.
+func TestPartitionBatch(t *testing.T) {
+	const d = 4
+	r := testRing(t, "http://a", "http://b", "http://c")
+	b := words.NewBatch(d, 0)
+	for i := 0; i < 200; i++ {
+		w := words.Word{uint16(i % 5), uint16(i % 3), uint16(i % 7), uint16(i % 2)}
+		b.Append(w)
+	}
+	parts := r.PartitionBatch(b)
+	total := 0
+	for node, part := range parts {
+		total += part.Len()
+		if part.Dim() != d {
+			t.Fatalf("node %s part has dim %d", node, part.Dim())
+		}
+		for i := 0; i < part.Len(); i++ {
+			if got := r.OwnerOfRow(part.Row(i)); got != node {
+				t.Fatalf("row in %s's partition owned by %s", node, got)
+			}
+		}
+	}
+	if total != b.Len() {
+		t.Fatalf("partitions hold %d rows, batch has %d", total, b.Len())
+	}
+	// Order within a node's partition is the input order restricted to
+	// that node — check via the full recomputation.
+	want := make(map[string][]words.Word)
+	for i := 0; i < b.Len(); i++ {
+		row := b.Row(i)
+		node := r.OwnerOfRow(row)
+		want[node] = append(want[node], append(words.Word(nil), row...))
+	}
+	for node, rows := range want {
+		part := parts[node]
+		if part.Len() != len(rows) {
+			t.Fatalf("node %s: %d rows, want %d", node, part.Len(), len(rows))
+		}
+		for i, w := range rows {
+			got := part.Row(i)
+			for j := range w {
+				if got[j] != w[j] {
+					t.Fatalf("node %s row %d: %v != %v", node, i, got, w)
+				}
+			}
+		}
+	}
+}
+
+// TestNewRingRejectsEmpty covers the constructor's refusals.
+func TestNewRingRejectsEmpty(t *testing.T) {
+	if _, err := NewRing(nil); err == nil {
+		t.Fatal("empty node list accepted")
+	}
+	if _, err := NewRing([]string{"http://a", " "}); err == nil {
+		t.Fatal("blank node name accepted")
+	}
+}
+
+// TestRowKeyContentAddressed checks equal rows hash equally and
+// distinct rows (almost always) do not — the property that
+// concentrates duplicates on one owner.
+func TestRowKeyContentAddressed(t *testing.T) {
+	a := []uint16{1, 2, 3}
+	b := []uint16{1, 2, 3}
+	if RowKey(a) != RowKey(b) {
+		t.Fatal("equal rows hash differently")
+	}
+	seen := make(map[uint64]string)
+	for i := 0; i < 500; i++ {
+		row := []uint16{uint16(i), uint16(i * 7), uint16(i * 13)}
+		k := RowKey(row)
+		if prev, ok := seen[k]; ok {
+			t.Fatalf("collision between %s and %v", prev, row)
+		}
+		seen[k] = fmt.Sprint(row)
+	}
+}

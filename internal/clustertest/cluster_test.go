@@ -1,0 +1,321 @@
+package clustertest
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/words"
+	"repro/internal/workload"
+)
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	CleanupBinaries()
+	os.Exit(code)
+}
+
+// Wire shapes of the router's /v1/observe fan-out report.
+type routerNodeResult struct {
+	Node     string `json:"node"`
+	Rows     int    `json:"rows"`
+	Accepted int    `json:"accepted"`
+	Error    string `json:"error"`
+}
+
+type routerObserveResponse struct {
+	Rows     int                `json:"rows"`
+	Accepted int                `json:"accepted"`
+	Partial  bool               `json:"partial"`
+	Results  []routerNodeResult `json:"results"`
+}
+
+// workloadRows materializes n deterministic rows (Zipf-distributed
+// patterns, fixed seed) as plain slices.
+func workloadRows(t *testing.T, d, q, n int, seed uint64) [][]uint16 {
+	t.Helper()
+	src := workload.ZipfPatterns(d, q, n, 40, 1.2, seed)
+	rows := make([][]uint16, 0, n)
+	for {
+		w, ok := src.Next()
+		if !ok {
+			break
+		}
+		rows = append(rows, append([]uint16(nil), w...))
+	}
+	if len(rows) != n {
+		t.Fatalf("workload yielded %d rows, want %d", len(rows), n)
+	}
+	return rows
+}
+
+// sendBatch streams one batch through the router and returns the
+// fan-out report.
+func sendBatch(t *testing.T, routerURL string, rows [][]uint16) (int, routerObserveResponse) {
+	t.Helper()
+	status, body := PostJSON(t, routerURL+"/v1/observe", map[string][][]uint16{"rows": rows})
+	var resp routerObserveResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("decoding observe response %s: %v", body, err)
+	}
+	return status, resp
+}
+
+// ackRows returns the subset of batch rows that were durably acked:
+// the rows owned (per the deterministic ring) by nodes whose forward
+// succeeded. Ingest nodes run fsync=always, so a node ack means the
+// rows survive SIGKILL.
+func ackRows(t *testing.T, ring *cluster.Ring, batch [][]uint16, results []routerNodeResult) [][]uint16 {
+	t.Helper()
+	ok := make(map[string]bool, len(results))
+	for _, res := range results {
+		if res.Error == "" {
+			ok[res.Node] = true
+		}
+	}
+	var acked [][]uint16
+	for _, row := range batch {
+		if ok[ring.OwnerOfRow(row)] {
+			acked = append(acked, row)
+		}
+	}
+	return acked
+}
+
+// sourceByURL indexes the aggregator's anti-entropy counters.
+func sourceByURL(t *testing.T, st Stats, url string) SourceStats {
+	t.Helper()
+	for _, src := range st.Cluster.Sources {
+		if src.URL == url {
+			return src
+		}
+	}
+	t.Fatalf("no source %s in %+v", url, st.Cluster.Sources)
+	return SourceStats{}
+}
+
+// TestClusterKillAndRecover is the tentpole integration property: a
+// two-ingest + one-aggregator cluster, fronted by the router, has one
+// ingest node SIGKILLed mid-stream and restarted (same address, same
+// data dir). The aggregator must converge to bit-exactly the answers
+// of a single process that ingested every acked row — and its
+// anti-entropy must ship blobs only for shards whose state actually
+// changed (asserted from the per-source request counters).
+func TestClusterKillAndRecover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	const (
+		d, q      = 4, 3
+		seed      = 7
+		batchSize = 100
+		batches   = 30
+	)
+	c := StartCluster(t, Config{IngestNodes: 2, Dim: d, Alphabet: q, Seed: seed})
+	ring, err := cluster.NewRing(c.IngestURLs())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The single-process baseline: same summary configuration, fed
+	// exactly the acked rows. Exact summaries make every merge order
+	// equivalent, so "cluster == baseline" is an equality check, not a
+	// tolerance check.
+	baseline, err := engine.NewSharded(func(int) (core.Summary, error) {
+		return core.NewExact(d, q)
+	}, engine.Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer baseline.Close()
+
+	rows := workloadRows(t, d, q, batchSize*batches, 99)
+	feedBaseline := func(acked [][]uint16) {
+		b := words.NewBatch(d, len(acked))
+		for _, row := range acked {
+			copy(b.AppendRow(), row)
+		}
+		baseline.ObserveBatch(b)
+	}
+
+	var ackedTotal int64
+	partials := 0
+	for i := 0; i < batches; i++ {
+		batch := rows[i*batchSize : (i+1)*batchSize]
+		status, resp := sendBatch(t, c.Router.URL(), batch)
+		acked := ackRows(t, ring, batch, resp.Results)
+		switch {
+		case status == 200:
+			if len(acked) != len(batch) || resp.Accepted != len(batch) {
+				t.Fatalf("batch %d: 200 but %d/%d acked (%+v)", i, resp.Accepted, len(batch), resp)
+			}
+		case status == 502 && resp.Partial:
+			partials++
+			if resp.Accepted != len(acked) {
+				t.Fatalf("batch %d: ack count %d != rows owned by live nodes %d", i, resp.Accepted, len(acked))
+			}
+		default:
+			t.Fatalf("batch %d: status %d, %+v", i, status, resp)
+		}
+		feedBaseline(acked)
+		ackedTotal += int64(len(acked))
+
+		if i == 9 {
+			// Crash one ingest node mid-stream: no drain, no shutdown
+			// checkpoint — recovery must come from the WAL. Hold the
+			// stream until the aggregator has probed the dead node at
+			// least once, so the outage is observable in the pull
+			// counters rather than racing the restart.
+			c.Ingest[0].Kill(t)
+			deadline := time.Now().Add(10 * time.Second)
+			for sourceByURL(t, GetStats(t, c.Aggregator.URL()), c.Ingest[0].URL()).Errors == 0 {
+				if time.Now().After(deadline) {
+					t.Fatal("aggregator never recorded a failed pull against the killed node")
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+		}
+		if i == 19 {
+			c.Ingest[0].Restart(t)
+		}
+	}
+	if partials == 0 {
+		t.Fatal("no partial batches during the outage — the kill proved nothing")
+	}
+	if ackedTotal == int64(batchSize*batches) {
+		t.Fatal("every row acked despite the outage — the kill proved nothing")
+	}
+
+	// Convergence: the aggregator's serving epoch accounts for every
+	// acked row (dead node's WAL recovery included) and nothing else.
+	WaitConverged(t, c.Aggregator.URL(), ackedTotal, 30*time.Second)
+	aggStats := GetStats(t, c.Aggregator.URL())
+	if aggStats.Cluster.Role != "aggregator" || aggStats.Rows != 0 {
+		t.Fatalf("aggregator stats: %+v", aggStats)
+	}
+	restarted := sourceByURL(t, aggStats, c.Ingest[0].URL())
+	if restarted.Errors == 0 {
+		t.Fatalf("no pull errors recorded against the killed node: %+v", restarted)
+	}
+
+	// Bit-exactness: integer-valued projected queries through the
+	// router (which proxies to the aggregator) equal the baseline's
+	// answers exactly.
+	full := words.FullColumnSet(d)
+	queries := []map[string]interface{}{
+		{"kind": "f0", "cols": []int{0}},
+		{"kind": "f0", "cols": []int{1, 2}},
+		{"kind": "f0", "cols": []int{0, 1, 2, 3}},
+		{"kind": "fp", "cols": []int{0, 1}, "p": 2.0},
+		{"kind": "freq", "cols": []int{0, 1, 2, 3}, "pattern": rows[0]},
+		{"kind": "freq", "cols": []int{0, 1, 2, 3}, "pattern": rows[57]},
+	}
+	colSet := func(cols []int) words.ColumnSet { return words.MustColumnSet(d, cols...) }
+	want := []float64{}
+	for _, sp := range queries {
+		cols := colSet(sp["cols"].([]int))
+		var v float64
+		var err error
+		switch sp["kind"] {
+		case "f0":
+			v, err = baseline.F0(cols)
+		case "fp":
+			v, err = baseline.Fp(cols, 2)
+		case "freq":
+			v, err = baseline.Frequency(full, words.Word(sp["pattern"].([]uint16)))
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, v)
+	}
+	status, body := PostJSON(t, c.Router.URL()+"/v1/query", map[string]interface{}{"queries": queries})
+	if status != 200 {
+		t.Fatalf("query through router: %d %s", status, body)
+	}
+	var qr struct {
+		Results []struct {
+			Value float64 `json:"value"`
+			Error string  `json:"error"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Results) != len(queries) {
+		t.Fatalf("%d results for %d queries", len(qr.Results), len(queries))
+	}
+	for i, res := range qr.Results {
+		if res.Error != "" {
+			t.Fatalf("query %d: %s", i, res.Error)
+		}
+		if res.Value != want[i] {
+			t.Fatalf("query %d (%v): cluster %v, baseline %v", i, queries[i], res.Value, want[i])
+		}
+	}
+
+	// Anti-entropy scope: ingest into node 1 only, and assert the next
+	// rounds ship node 1's changed blob while node 0 — untouched since
+	// its last pull — costs only 304 probes, no transfers.
+	before := GetStats(t, c.Aggregator.URL())
+	var node1Rows [][]uint16
+	for _, row := range workloadRows(t, d, q, 400, 1234) {
+		if ring.OwnerOfRow(row) == c.Ingest[1].URL() {
+			node1Rows = append(node1Rows, row)
+		}
+	}
+	if len(node1Rows) == 0 {
+		t.Fatal("workload owns no rows on node 1")
+	}
+	status, resp := sendBatch(t, c.Router.URL(), node1Rows)
+	if status != 200 || resp.Accepted != len(node1Rows) {
+		t.Fatalf("targeted batch: %d %+v", status, resp)
+	}
+	feedBaseline(node1Rows)
+	ackedTotal += int64(len(node1Rows))
+	WaitConverged(t, c.Aggregator.URL(), ackedTotal, 30*time.Second)
+	// Let a few more idle rounds run so the 304 counter provably moves.
+	time.Sleep(400 * time.Millisecond)
+
+	after := GetStats(t, c.Aggregator.URL())
+	idleBefore, idleAfter := sourceByURL(t, before, c.Ingest[0].URL()), sourceByURL(t, after, c.Ingest[0].URL())
+	busyBefore, busyAfter := sourceByURL(t, before, c.Ingest[1].URL()), sourceByURL(t, after, c.Ingest[1].URL())
+	if idleAfter.Changed != idleBefore.Changed {
+		t.Fatalf("idle node shipped %d blobs while only node 1 changed",
+			idleAfter.Changed-idleBefore.Changed)
+	}
+	if idleAfter.NotModified <= idleBefore.NotModified {
+		t.Fatalf("idle node's 304 count did not advance: %+v -> %+v", idleBefore, idleAfter)
+	}
+	if busyAfter.Changed <= busyBefore.Changed {
+		t.Fatalf("changed node shipped no blob: %+v -> %+v", busyBefore, busyAfter)
+	}
+
+	// The spot checks above are targeted; finish with the full-table
+	// equality — every pattern's exact count, cluster vs baseline.
+	statusF, bodyF := PostJSON(t, c.Router.URL()+"/v1/query", map[string]interface{}{
+		"queries": []map[string]interface{}{{"kind": "f0", "cols": []int{0, 1, 2, 3}}},
+	})
+	if statusF != 200 {
+		t.Fatalf("final f0: %d %s", statusF, bodyF)
+	}
+	var fr struct {
+		Results []struct {
+			Value float64 `json:"value"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(bodyF, &fr); err != nil {
+		t.Fatal(err)
+	}
+	wantF0, err := baseline.F0(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Results[0].Value != wantF0 {
+		t.Fatalf("final distinct-row count: cluster %v, baseline %v", fr.Results[0].Value, wantF0)
+	}
+}

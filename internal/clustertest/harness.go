@@ -1,0 +1,380 @@
+// Package clustertest is a reusable harness for integration tests of
+// the two-tier projfreq cluster: it builds the real projfreqd and
+// projfreq-router binaries once per test process, spawns them as
+// subprocesses with scratch data directories, and exposes the
+// membership to the test so it can kill, restart, and interrogate
+// individual nodes.
+//
+// Node logs go to one file per process lifetime. By default they land
+// in the test's temp directory; set CLUSTERTEST_LOGDIR to a path to
+// keep them after the run (CI uploads that directory as an artifact
+// when the cluster tests fail).
+package clustertest
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// binDir holds the built binaries for this test process; see
+// EnsureBinaries.
+var (
+	binOnce sync.Once
+	binPath string
+	binErr  error
+)
+
+// EnsureBinaries builds projfreqd and projfreq-router (once per test
+// process) and returns the directory holding them. Building the real
+// binaries — rather than re-exec'ing the test binary — keeps the
+// harness in a normal test package and exercises exactly the
+// artifacts an operator deploys.
+func EnsureBinaries(t *testing.T) string {
+	t.Helper()
+	binOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "clustertest-bin-")
+		if err != nil {
+			binErr = err
+			return
+		}
+		cmd := exec.Command("go", "build", "-o", dir,
+			"repro/cmd/projfreqd", "repro/cmd/projfreq-router")
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			binErr = fmt.Errorf("building cluster binaries: %v\n%s", err, out)
+			return
+		}
+		binPath = dir
+	})
+	if binErr != nil {
+		t.Fatal(binErr)
+	}
+	return binPath
+}
+
+// CleanupBinaries removes the built binaries; call it from TestMain
+// after m.Run.
+func CleanupBinaries() {
+	if binPath != "" {
+		os.RemoveAll(binPath)
+	}
+}
+
+// FreeAddr reserves an ephemeral localhost port and returns it as
+// host:port. The listener is closed before returning, so the port can
+// (rarely) be stolen before the daemon binds it; tests that hit the
+// race fail loudly in WaitReady rather than hanging.
+func FreeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// LogDir resolves where node logs go: CLUSTERTEST_LOGDIR if set
+// (kept after the run — what CI uploads on failure), the test's temp
+// directory otherwise.
+func LogDir(t *testing.T) string {
+	t.Helper()
+	if dir := os.Getenv("CLUSTERTEST_LOGDIR"); dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+	return t.TempDir()
+}
+
+// Node is one spawned cluster process (daemon or router).
+type Node struct {
+	Name string
+	Addr string // host:port the process listens on
+	Args []string
+	Bin  string // binary path
+
+	logDir string
+	starts int
+	cmd    *exec.Cmd
+	waitC  chan error
+}
+
+// URL returns the node's base URL.
+func (n *Node) URL() string { return "http://" + n.Addr }
+
+// NewNode prepares (but does not start) a process. args must not
+// include -addr; the harness owns the address so restarts reuse it.
+func NewNode(t *testing.T, name, bin string, args ...string) *Node {
+	t.Helper()
+	return &Node{
+		Name:   name,
+		Addr:   FreeAddr(t),
+		Args:   args,
+		Bin:    bin,
+		logDir: LogDir(t),
+	}
+}
+
+// Start launches the process and waits until its HTTP face answers.
+// Each start (including restarts) gets its own log file, suffixed
+// with the start ordinal, so a kill-and-restart test leaves both
+// lifetimes' logs for inspection.
+func (n *Node) Start(t *testing.T) {
+	t.Helper()
+	if n.cmd != nil {
+		t.Fatalf("node %s already running", n.Name)
+	}
+	n.starts++
+	logPath := filepath.Join(n.logDir, fmt.Sprintf("%s.run%d.log", n.Name, n.starts))
+	logFile, err := os.Create(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(n.Bin, append([]string{"-addr", n.Addr}, n.Args...)...)
+	cmd.Stdout = logFile
+	cmd.Stderr = logFile
+	if err := cmd.Start(); err != nil {
+		logFile.Close()
+		t.Fatalf("starting %s: %v", n.Name, err)
+	}
+	waitC := make(chan error, 1)
+	go func() {
+		waitC <- cmd.Wait()
+		logFile.Close()
+	}()
+	n.cmd = cmd
+	n.waitC = waitC
+	t.Cleanup(func() { n.Stop() })
+	n.WaitReady(t)
+}
+
+// WaitReady polls the node's /v1/stats until it answers 200.
+func (n *Node) WaitReady(t *testing.T) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(n.URL() + "/v1/stats")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		select {
+		case err := <-n.waitC:
+			n.waitC <- err
+			t.Fatalf("node %s exited while starting: %v (log: %s)", n.Name, err, n.logDir)
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	t.Fatalf("node %s not ready on %s after 15s (log: %s)", n.Name, n.Addr, n.logDir)
+}
+
+// Kill sends SIGKILL — the crash case — and reaps the process.
+func (n *Node) Kill(t *testing.T) {
+	t.Helper()
+	if n.cmd == nil {
+		t.Fatalf("node %s not running", n.Name)
+	}
+	if err := n.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatalf("killing %s: %v", n.Name, err)
+	}
+	<-n.waitC
+	n.cmd = nil
+	n.waitC = nil
+}
+
+// Stop terminates the process if it is still running (cleanup path;
+// errors ignored).
+func (n *Node) Stop() {
+	if n.cmd == nil {
+		return
+	}
+	_ = n.cmd.Process.Signal(syscall.SIGKILL)
+	<-n.waitC
+	n.cmd = nil
+	n.waitC = nil
+}
+
+// Restart starts the node again on the same address with the same
+// arguments — the recovery case.
+func (n *Node) Restart(t *testing.T) {
+	t.Helper()
+	if n.cmd != nil {
+		t.Fatalf("node %s still running", n.Name)
+	}
+	n.Start(t)
+}
+
+// Cluster is a running two-tier topology.
+type Cluster struct {
+	Ingest     []*Node
+	Aggregator *Node
+	Router     *Node
+}
+
+// Config sizes a cluster. Dim/Alphabet/Seed configure every daemon
+// identically (summaries must be merge-compatible across the tiers).
+type Config struct {
+	IngestNodes  int
+	Dim          int
+	Alphabet     int
+	Seed         uint64
+	Summary      string        // daemon -summary; default "exact"
+	PullInterval time.Duration // aggregator cadence; default 100ms
+}
+
+// StartCluster builds the binaries and brings up ingest nodes (each
+// durable, fsync=always, in its own scratch dir), one aggregator
+// pulling from all of them, and a router fronting both tiers.
+func StartCluster(t *testing.T, cfg Config) *Cluster {
+	t.Helper()
+	bin := EnsureBinaries(t)
+	if cfg.Summary == "" {
+		cfg.Summary = "exact"
+	}
+	if cfg.PullInterval == 0 {
+		cfg.PullInterval = 100 * time.Millisecond
+	}
+	daemon := filepath.Join(bin, "projfreqd")
+	routerBin := filepath.Join(bin, "projfreq-router")
+	shape := []string{
+		"-summary", cfg.Summary,
+		"-d", fmt.Sprint(cfg.Dim),
+		"-q", fmt.Sprint(cfg.Alphabet),
+		"-seed", fmt.Sprint(cfg.Seed),
+		"-shards", "2",
+	}
+
+	c := &Cluster{}
+	var ingestURLs []string
+	for i := 0; i < cfg.IngestNodes; i++ {
+		args := append(append([]string{}, shape...),
+			"-data-dir", t.TempDir(),
+			"-fsync", "always",
+		)
+		n := NewNode(t, fmt.Sprintf("ingest%d", i), daemon, args...)
+		c.Ingest = append(c.Ingest, n)
+		ingestURLs = append(ingestURLs, n.URL())
+	}
+	aggArgs := append(append([]string{}, shape...),
+		"-pull-from", strings.Join(ingestURLs, ","),
+		"-pull-interval", cfg.PullInterval.String(),
+	)
+	c.Aggregator = NewNode(t, "aggregator", daemon, aggArgs...)
+	c.Router = NewNode(t, "router", routerBin,
+		"-ingest", strings.Join(ingestURLs, ","),
+		"-aggregators", c.Aggregator.URL(),
+	)
+
+	for _, n := range c.Ingest {
+		n.Start(t)
+	}
+	c.Aggregator.Start(t)
+	c.Router.Start(t)
+	return c
+}
+
+// IngestURLs returns the ingest tier's base URLs (the ring's node
+// set).
+func (c *Cluster) IngestURLs() []string {
+	out := make([]string, len(c.Ingest))
+	for i, n := range c.Ingest {
+		out[i] = n.URL()
+	}
+	return out
+}
+
+// ---- wire types the harness reads back (subset of the daemons') ----
+
+// SourceStats mirrors the aggregator's per-source anti-entropy
+// counters.
+type SourceStats struct {
+	URL         string `json:"url"`
+	ETag        string `json:"etag"`
+	Pulls       int64  `json:"pulls"`
+	Changed     int64  `json:"changed"`
+	NotModified int64  `json:"not_modified"`
+	Errors      int64  `json:"errors"`
+	Rows        int64  `json:"rows"`
+}
+
+// Stats is the slice of a daemon's /v1/stats the cluster tests read.
+type Stats struct {
+	Rows  int64 `json:"rows"`
+	Epoch struct {
+		Seq        uint64 `json:"seq"`
+		Rows       int64  `json:"rows"`
+		MergedRows int64  `json:"merged_rows"`
+	} `json:"epoch"`
+	Cluster struct {
+		Role    string        `json:"role"`
+		Sources []SourceStats `json:"sources"`
+	} `json:"cluster"`
+}
+
+// GetStats fetches and decodes a daemon's /v1/stats.
+func GetStats(t *testing.T, url string) Stats {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// WaitConverged polls the aggregator until its serving epoch's
+// merged_rows reaches want: every acked row is inside an absorbed
+// source summary. Fails with both sides' counts on timeout.
+func WaitConverged(t *testing.T, aggURL string, want int64, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	var last Stats
+	for time.Now().Before(deadline) {
+		last = GetStats(t, aggURL)
+		if last.Epoch.MergedRows == want {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("aggregator serves %d merged rows after %v, want %d (sources: %+v)",
+		last.Epoch.MergedRows, timeout, want, last.Cluster.Sources)
+}
+
+// PostJSON posts a JSON body and returns status + response bytes.
+func PostJSON(t *testing.T, url string, body interface{}) (int, []byte) {
+	t.Helper()
+	blob, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", strings.NewReader(string(blob)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}

@@ -122,7 +122,13 @@ func (s *Sharded) CheckpointState() (CheckpointState, error) {
 		return CheckpointState{}, err
 	}
 	if mergedErr == nil {
-		s.publishLocked(merged, accepted, size)
+		// Absorbed sources (soft anti-entropy state, outside the
+		// checkpoint's shard blobs) still belong in the published read
+		// epoch; a source merge failure only skips the epoch refresh,
+		// like a scaffold failure.
+		if srcSize, srcRows, srcErr := s.mergeSourcesInto(merged); srcErr == nil {
+			s.publishLocked(merged, accepted, size+srcSize, srcRows)
+		}
 	}
 	return st, nil
 }

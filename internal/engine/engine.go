@@ -47,6 +47,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -170,6 +171,14 @@ type Sharded struct {
 	absorbs int // successful Absorb calls; guards late registration
 	cache   *queryCache
 
+	// sources holds the latest summary absorbed per named source
+	// (AbsorbSource): cluster anti-entropy state, merged into every
+	// epoch on top of the local shards. Unlike Absorb's cumulative
+	// merge-into-a-shard, a source's summary is *replaced* on each
+	// absorb — re-pulling a peer's cumulative snapshot must not
+	// double-count its rows. Guarded by mu; nil until first use.
+	sources map[string]core.Summary
+
 	// cur is the serving epoch: an immutable merged snapshot readers
 	// load without locks. It is nil before the first build and after
 	// any mutation that invalidates merged state wholesale (Absorb,
@@ -188,12 +197,13 @@ type Sharded struct {
 // checks and staleness reporting need. Epochs are immutable after
 // publication — readers share them freely.
 type epoch struct {
-	reg   *registry.Registry
-	gen   uint64 // query-cache generation for this epoch
-	seq   uint64 // monotonic build number
-	rows  int64  // accepted-rows clock read before the cut's barrier
-	built time.Time
-	size  int // total shard SizeBytes at the cut
+	reg     *registry.Registry
+	gen     uint64 // query-cache generation for this epoch
+	seq     uint64 // monotonic build number
+	rows    int64  // accepted-rows clock read before the cut's barrier
+	built   time.Time
+	size    int   // total shard (and source) SizeBytes at the cut
+	srcRows int64 // rows contributed by AbsorbSource donors at the cut
 }
 
 // NewSharded builds the engine and starts its shard workers. The
@@ -561,23 +571,57 @@ func (s *Sharded) rebuildLocked() (*epoch, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.publishLocked(merged, accepted, size), nil
+	// Source summaries live outside the shards, so they merge after the
+	// barrier releases the workers — donors are immutable between
+	// absorbs and need no quiesce.
+	srcSize, srcRows, err := s.mergeSourcesInto(merged)
+	if err != nil {
+		return nil, err
+	}
+	return s.publishLocked(merged, accepted, size+srcSize, srcRows), nil
+}
+
+// mergeSourcesInto folds the latest summary of every absorbed source
+// into a freshly merged registry, in sorted name order so rebuilds are
+// deterministic, and reports the donors' total size and row count.
+// Callers hold mu. The validating Merge runs — donors came off the
+// wire — and never mutates the stored donor, so the same summary can
+// be re-merged into every subsequent epoch.
+func (s *Sharded) mergeSourcesInto(merged *registry.Registry) (size int, rows int64, err error) {
+	if len(s.sources) == 0 {
+		return 0, 0, nil
+	}
+	names := make([]string, 0, len(s.sources))
+	for name := range s.sources {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		donor := s.sources[name]
+		if err := merged.Merge(donor); err != nil {
+			return 0, 0, fmt.Errorf("engine: merging source %q: %w", name, err)
+		}
+		size += donor.SizeBytes()
+		rows += donor.Rows()
+	}
+	return size, rows, nil
 }
 
 // publishLocked seals a merged registry and installs it as the new
 // serving epoch; callers hold mu. The cache generation and the epoch
 // move together, so results computed against a superseded epoch can
 // never land in (or be served from) the new one's cache.
-func (s *Sharded) publishLocked(merged *registry.Registry, accepted int64, size int) *epoch {
+func (s *Sharded) publishLocked(merged *registry.Registry, accepted int64, size int, srcRows int64) *epoch {
 	merged.Seal()
 	s.epochSeq++
 	e := &epoch{
-		reg:   merged,
-		gen:   s.cache.clear(),
-		seq:   s.epochSeq,
-		rows:  accepted,
-		built: time.Now(),
-		size:  size,
+		reg:     merged,
+		gen:     s.cache.clear(),
+		seq:     s.epochSeq,
+		rows:    accepted,
+		built:   time.Now(),
+		size:    size,
+		srcRows: srcRows,
 	}
 	s.cur.Store(e)
 	return e
@@ -613,10 +657,15 @@ type EpochInfo struct {
 	StalenessRows int64
 	// Age is the wall-clock time since the cut.
 	Age time.Duration
-	// SizeBytes totals the shard summaries' space at the cut (the
-	// engine's steady-state space; the merged epoch itself is
-	// transient and not counted).
+	// SizeBytes totals the shard summaries' (and absorbed source
+	// donors') space at the cut (the engine's steady-state space; the
+	// merged epoch itself is transient and not counted).
 	SizeBytes int
+	// MergedRows is the total row count the epoch's merged registry
+	// serves: the local accepted-rows clock plus the rows contributed
+	// by absorbed sources (AbsorbSource). Equal to Rows on engines
+	// without sources; an aggregator's convergence is read off this.
+	MergedRows int64
 }
 
 // epochInfo captures the caller-facing view of e at read time.
@@ -627,6 +676,7 @@ func (s *Sharded) epochInfo(e *epoch) EpochInfo {
 		StalenessRows: s.enqueued.Load() - e.rows,
 		Age:           time.Since(e.built),
 		SizeBytes:     e.size,
+		MergedRows:    e.rows + e.srcRows,
 	}
 }
 
@@ -746,6 +796,75 @@ func (s *Sharded) absorb(sum core.Summary, tee bool) error {
 		return fmt.Errorf("engine: logging absorb: %w", teeErr)
 	}
 	return nil
+}
+
+// AbsorbSource installs sum as the latest state of the named source:
+// the cluster anti-entropy primitive. Where Absorb folds a donor into
+// a shard cumulatively, a source is replaced wholesale — an aggregator
+// re-pulling a peer's cumulative snapshot (same source, more rows)
+// must supersede the previous pull, not double-count it. The absorbed
+// state is merged into every subsequent epoch on top of the local
+// shards, so queries, snapshots, and exported summaries all reflect
+// the newest pull of every source.
+//
+// The donor is validated against a factory-fresh registry before any
+// state changes: a blob of the wrong shape, configuration, or subspace
+// structure is refused (wrapping core.ErrIncompatibleMerge where the
+// merge rules do) and the engine is unchanged. On success the previous
+// summary for name (if any) is dropped, the serving epoch is
+// invalidated — absorbed state is never served stale, not even under a
+// staleness budget — and late subspace registration is blocked exactly
+// as it is after Absorb. The donor must not be mutated by the caller
+// afterwards; the engine re-merges it into every epoch it serves.
+//
+// Source state is deliberately soft: it is not appended to a
+// durability log, because anti-entropy re-pulls it from the source of
+// truth (the peer's own durable store) after a restart.
+func (s *Sharded) AbsorbSource(name string, sum core.Summary) error {
+	if name == "" {
+		return errors.New("engine: empty source name")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	probe, err := s.buildShard(len(s.shards))
+	if err != nil {
+		return fmt.Errorf("engine: probe for source %q: %w", name, err)
+	}
+	if err := probe.Merge(sum); err != nil {
+		return fmt.Errorf("engine: absorbing source %q: %w", name, err)
+	}
+	if s.sources == nil {
+		s.sources = make(map[string]core.Summary)
+	}
+	s.sources[name] = sum
+	// Any absorbed state blocks late subspace registration (see
+	// registerSubspaceLocked), and the epoch drops outright so the new
+	// source state can never be hidden behind a fresh-looking epoch.
+	s.absorbs++
+	s.cur.Store(nil)
+	return nil
+}
+
+// SourceInfo describes one absorbed source (AbsorbSource).
+type SourceInfo struct {
+	// Name is the source key (for an aggregator, the peer's URL).
+	Name string
+	// Rows is the row count of the source's latest absorbed summary.
+	Rows int64
+	// SizeBytes is that summary's space.
+	SizeBytes int
+}
+
+// Sources lists the absorbed sources in sorted name order.
+func (s *Sharded) Sources() []SourceInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	infos := make([]SourceInfo, 0, len(s.sources))
+	for name, sum := range s.sources {
+		infos = append(infos, SourceInfo{Name: name, Rows: sum.Rows(), SizeBytes: sum.SizeBytes()})
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos
 }
 
 // ErrRowsAccepted reports a RegisterSubspace call after the engine

@@ -1,0 +1,82 @@
+package registry
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/words"
+)
+
+// mismatchRegistry builds a registry with the given subspace column
+// sets over exact summaries.
+func mismatchRegistry(t *testing.T, subspaces ...[]int) *Registry {
+	t.Helper()
+	reg, err := New(newExact(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cols := range subspaces {
+		if err := reg.RegisterSubspace(words.MustColumnSet(testDim, cols...), newExact(t)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return reg
+}
+
+// TestMergeSubspaceMismatchIsTyped pins the typed structural refusal:
+// every structural mismatch — different counts, different column sets,
+// a bare donor — surfaces a *SubspaceMismatchError carrying both
+// sides' subspace lists, still wrapping core.ErrIncompatibleMerge.
+func TestMergeSubspaceMismatchIsTyped(t *testing.T) {
+	recv := mismatchRegistry(t, []int{0, 1}, []int{2, 3})
+
+	t.Run("count", func(t *testing.T) {
+		err := recv.Merge(mismatchRegistry(t, []int{0, 1}))
+		var mm *SubspaceMismatchError
+		if !errors.As(err, &mm) {
+			t.Fatalf("count mismatch: %v (no SubspaceMismatchError)", err)
+		}
+		if !errors.Is(err, core.ErrIncompatibleMerge) {
+			t.Fatalf("does not wrap ErrIncompatibleMerge: %v", err)
+		}
+		if len(mm.Receiver) != 2 || len(mm.Donor) != 1 {
+			t.Fatalf("lists: receiver %v donor %v", mm.Receiver, mm.Donor)
+		}
+		if !strings.Contains(err.Error(), "{0,1}") || !strings.Contains(err.Error(), "{2,3}") {
+			t.Fatalf("message does not name the column sets: %s", err)
+		}
+	})
+
+	t.Run("columns", func(t *testing.T) {
+		err := recv.Merge(mismatchRegistry(t, []int{0, 1}, []int{4, 5}))
+		var mm *SubspaceMismatchError
+		if !errors.As(err, &mm) {
+			t.Fatalf("column-set mismatch: %v", err)
+		}
+		if len(mm.Donor) != 2 || !mm.Donor[1].Equal(words.MustColumnSet(testDim, 4, 5)) {
+			t.Fatalf("donor list: %v", mm.Donor)
+		}
+	})
+
+	t.Run("bare donor", func(t *testing.T) {
+		err := recv.Merge(newExact(t))
+		var mm *SubspaceMismatchError
+		if !errors.As(err, &mm) {
+			t.Fatalf("bare donor: %v", err)
+		}
+		if mm.BareDonor != "exact" || mm.Donor != nil {
+			t.Fatalf("bare donor fields: %+v", mm)
+		}
+		if !strings.Contains(err.Error(), "bare exact") {
+			t.Fatalf("message: %s", err)
+		}
+	})
+
+	// A matching merge still works after the refusals (receiver was
+	// never mutated by them).
+	if err := recv.Merge(mismatchRegistry(t, []int{0, 1}, []int{2, 3})); err != nil {
+		t.Fatalf("matching merge after refusals: %v", err)
+	}
+}

@@ -58,6 +58,63 @@ import (
 // set that already has an entry.
 var ErrDuplicateSubspace = errors.New("registry: subspace already registered")
 
+// SubspaceMismatchError reports a merge refused for structural
+// reasons: the two sides disagree about which subspaces exist (or the
+// donor is not a registry at all, so it has none). It wraps
+// core.ErrIncompatibleMerge, and carries both subspace lists so
+// callers — the daemon's /v1/push handler, a cluster operator reading
+// an anti-entropy failure — can name the mismatched column sets
+// instead of guessing from a prose message.
+type SubspaceMismatchError struct {
+	// Receiver holds the receiving registry's registered column sets,
+	// in registration order.
+	Receiver []words.ColumnSet
+	// Donor holds the donor registry's column sets, in registration
+	// order; nil when the donor was a bare (non-registry) summary.
+	Donor []words.ColumnSet
+	// BareDonor names the donor summary's kind when the donor was not
+	// a registry; empty otherwise.
+	BareDonor string
+}
+
+// Error spells out both sides' subspace lists.
+func (e *SubspaceMismatchError) Error() string {
+	if e.BareDonor != "" {
+		return fmt.Sprintf("%v: registry with subspaces %s only merges whole registries, not a bare %s",
+			core.ErrIncompatibleMerge, formatColumnSets(e.Receiver), e.BareDonor)
+	}
+	return fmt.Sprintf("%v: registry subspaces differ: %s here, %s in donor",
+		core.ErrIncompatibleMerge, formatColumnSets(e.Receiver), formatColumnSets(e.Donor))
+}
+
+// Unwrap keeps errors.Is(err, core.ErrIncompatibleMerge) working.
+func (e *SubspaceMismatchError) Unwrap() error { return core.ErrIncompatibleMerge }
+
+// formatColumnSets renders a subspace list for error messages.
+func formatColumnSets(sets []words.ColumnSet) string {
+	if len(sets) == 0 {
+		return "none"
+	}
+	out := ""
+	for i, c := range sets {
+		if i > 0 {
+			out += " "
+		}
+		out += c.String()
+	}
+	return out
+}
+
+// subspaceCols collects a registry's registered column sets in
+// registration order, for SubspaceMismatchError.
+func (r *Registry) subspaceCols() []words.ColumnSet {
+	cols := make([]words.ColumnSet, len(r.entries))
+	for i := range r.entries {
+		cols[i] = r.entries[i].cols
+	}
+	return cols
+}
+
 // ErrRowsObserved reports a RegisterSubspace call after the registry
 // started observing rows; subspace summaries must join before any row
 // so that every member digests the identical stream.
@@ -430,8 +487,7 @@ func (r *Registry) merge(other core.Summary, validate bool) error {
 	o, ok := other.(*Registry)
 	if !ok {
 		if len(r.entries) > 0 {
-			return fmt.Errorf("%w: registry with %d subspaces only merges whole registries, not a bare %s",
-				core.ErrIncompatibleMerge, len(r.entries), other.Name())
+			return &SubspaceMismatchError{Receiver: r.subspaceCols(), BareDonor: other.Name()}
 		}
 		m, ok := r.full.(core.Mergeable)
 		if !ok {
@@ -443,13 +499,11 @@ func (r *Registry) merge(other core.Summary, validate bool) error {
 		return fmt.Errorf("%w: registry merged with itself", core.ErrIncompatibleMerge)
 	}
 	if len(o.entries) != len(r.entries) {
-		return fmt.Errorf("%w: registries hold %d vs %d subspaces",
-			core.ErrIncompatibleMerge, len(r.entries), len(o.entries))
+		return &SubspaceMismatchError{Receiver: r.subspaceCols(), Donor: o.subspaceCols()}
 	}
 	for i := range r.entries {
 		if !r.entries[i].cols.Equal(o.entries[i].cols) {
-			return fmt.Errorf("%w: subspace %d is %v here, %v there",
-				core.ErrIncompatibleMerge, i, r.entries[i].cols, o.entries[i].cols)
+			return &SubspaceMismatchError{Receiver: r.subspaceCols(), Donor: o.subspaceCols()}
 		}
 	}
 	type pair struct {
