@@ -10,6 +10,8 @@
 //
 //	go run ./cmd/bench -out BENCH_6.json
 //	go run ./cmd/bench -benchtime 2s -only mixed
+//	go run ./cmd/bench -only ingest/batch256 -cpuprofile cpu.pprof
+//	go run ./cmd/bench -max-allocs ingest/batch256=1   # CI regression gate
 package main
 
 import (
@@ -18,6 +20,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -98,16 +102,26 @@ func main() {
 	// binary.
 	testing.Init()
 	var (
-		out       = flag.String("out", "BENCH.json", "output JSON path")
-		benchtime = flag.Duration("benchtime", time.Second, "target time per benchmark")
-		only      = flag.String("only", "", "run only workloads whose name contains this substring")
-		reps      = flag.Int("reps", 3, "runs per workload; the fastest is reported (damps scheduler noise)")
+		out        = flag.String("out", "BENCH.json", "output JSON path")
+		benchtime  = flag.Duration("benchtime", time.Second, "target time per benchmark")
+		only       = flag.String("only", "", "run only workloads whose name contains this substring")
+		reps       = flag.Int("reps", 3, "runs per workload; the fastest is reported (damps scheduler noise)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the benchmark runs to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile (after the runs) to this file")
+		maxAllocs  = flag.String("max-allocs", "", "comma-separated name=ceiling allocs/op regression gates (e.g. ingest/batch256=1); exceeding one fails the run")
 	)
 	flag.Parse()
+
+	ceilings, err := parseMaxAllocs(*maxAllocs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
 
 	workloads := []workload{
 		{"ingest/row", true, benchsuite.IngestRow},
 		{"ingest/batch256", true, benchsuite.IngestBatch},
+		{"ingest/sketch256", true, benchsuite.SketchIngest},
 		{"query/warm", false, benchsuite.QueryWarm},
 		{"query/planner", false, benchsuite.PlannerRouted},
 		{"wal/append256", true, benchsuite.WALAppend},
@@ -124,6 +138,20 @@ func main() {
 	if err := flag.CommandLine.Lookup("test.benchtime").Value.Set(benchtime.String()); err != nil {
 		fmt.Fprintln(os.Stderr, "bench: setting benchtime:", err)
 		os.Exit(1)
+	}
+
+	var cpuFile *os.File
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "bench: starting CPU profile:", err)
+			os.Exit(1)
+		}
+		cpuFile = f
 	}
 
 	rep := report{
@@ -177,6 +205,27 @@ func main() {
 		fmt.Fprintln(os.Stderr)
 	}
 
+	// The profile covers only the benchmark runs, not report assembly.
+	if cpuFile != nil {
+		pprof.StopCPUProfile()
+		cpuFile.Close()
+		fmt.Fprintf(os.Stderr, "bench: wrote CPU profile %s\n", *cpuprofile)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		runtime.GC() // settle the heap so the profile shows live state
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "bench: writing heap profile:", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "bench: wrote heap profile %s\n", *memprofile)
+	}
+
 	if base := rates["mixed/ingest-only"]; base > 0 {
 		rep.Mixed = &mixedSummary{
 			IngestOnlyRowsPerSec:    base,
@@ -213,4 +262,56 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "bench: wrote %s (%d workloads)\n", *out, len(rep.Benchmarks))
+
+	// Allocation regression gates run last, so a failing run still
+	// leaves the receipts (and any profiles) behind for diagnosis.
+	failed := false
+	for _, g := range ceilings {
+		found := false
+		for _, res := range rep.Benchmarks {
+			if res.Name != g.name {
+				continue
+			}
+			found = true
+			if res.AllocsPerOp > g.ceiling {
+				fmt.Fprintf(os.Stderr, "bench: FAIL %s allocated %d allocs/op, ceiling %d\n",
+					res.Name, res.AllocsPerOp, g.ceiling)
+				failed = true
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "bench: FAIL -max-allocs names %q, which did not run\n", g.name)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// allocGate is one parsed -max-allocs entry.
+type allocGate struct {
+	name    string
+	ceiling int64
+}
+
+// parseMaxAllocs parses the -max-allocs flag: comma-separated
+// name=ceiling pairs.
+func parseMaxAllocs(s string) ([]allocGate, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var gates []allocGate
+	for _, pair := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("malformed -max-allocs entry %q (want name=ceiling)", pair)
+		}
+		ceiling, err := strconv.ParseInt(val, 10, 64)
+		if err != nil || ceiling < 0 {
+			return nil, fmt.Errorf("malformed -max-allocs ceiling in %q", pair)
+		}
+		gates = append(gates, allocGate{name: name, ceiling: ceiling})
+	}
+	return gates, nil
 }

@@ -19,6 +19,15 @@ type Estimator interface {
 	SizeBytes() int
 }
 
+// BatchEstimator is the optional batched entry point of the key
+// pipeline: AddBatch(items) must be equivalent to calling Add per item
+// in order. Estimators that implement it consume a whole batch's
+// precomputed fingerprints in one call; the others fall back to the
+// per-item loop with identical resulting state.
+type BatchEstimator interface {
+	AddBatch(items []uint64)
+}
+
 // Factory builds a fresh Estimator for the net member with the given
 // subset ID (its bitmask); implementations must derive per-subset
 // seeds from the ID so sketches are independent.
@@ -36,6 +45,7 @@ type MetaSummary struct {
 	sk      []Estimator
 	bufs    []words.Word
 	keyBuf  []byte
+	fps     []uint64 // reusable fingerprint arena for ObserveBatch
 	rows    int64
 }
 
@@ -85,14 +95,16 @@ func (m *MetaSummary) Observe(w words.Word) {
 	}
 }
 
-// ObserveBatch feeds every row of b into every member sketch,
-// member-major: the outer loop walks the net once and the inner loop
-// streams the batch's rows through that member's projection buffer
-// and sketch, so the per-member setup (buffer, column set, key
-// staging) is paid |N| times per batch instead of |N| times per row
-// and each sketch's working set stays hot across the whole batch.
-// Sketch states end up identical to row-at-a-time Observe: every
-// member sees the same fingerprints in the same order.
+// ObserveBatch feeds every row of b into every member sketch through
+// the batched key pipeline, member-major: for each net member the
+// whole batch is projected into one flat key arena
+// (words.AppendBatchKeys), fingerprinted in one pass
+// (hashing.AppendFingerprints64), and handed to the sketch — via
+// AddBatch when the estimator implements BatchEstimator, else one Add
+// per fingerprint. Both arenas are owned by the summary and reused
+// across members and batches. Sketch states end up identical to
+// row-at-a-time Observe: every member sees the same fingerprints in
+// the same order.
 func (m *MetaSummary) ObserveBatch(b *words.Batch) {
 	if b.Dim() != m.net.Dim() {
 		panic(fmt.Sprintf("anet: batch dimension %d != dimension %d", b.Dim(), m.net.Dim()))
@@ -103,13 +115,15 @@ func (m *MetaSummary) ObserveBatch(b *words.Batch) {
 	}
 	m.rows += int64(n)
 	for i, cs := range m.subsets {
-		buf := m.bufs[i]
+		m.keyBuf = words.AppendBatchKeys(m.keyBuf[:0], b, cs)
+		m.fps = hashing.AppendFingerprints64(m.fps[:0], m.keyBuf, n, 2*cs.Len())
+		if be, ok := m.sk[i].(BatchEstimator); ok {
+			be.AddBatch(m.fps)
+			continue
+		}
 		sk := m.sk[i]
-		full := words.FullColumnSet(cs.Len())
-		for r := 0; r < n; r++ {
-			b.Row(r).ProjectInto(cs, buf)
-			m.keyBuf = words.AppendKey(m.keyBuf[:0], buf, full)
-			sk.Add(hashing.Fingerprint64(m.keyBuf))
+		for _, fp := range m.fps {
+			sk.Add(fp)
 		}
 	}
 }

@@ -95,6 +95,29 @@ func IngestBatch(b *testing.B) {
 	}
 }
 
+// SketchIngest times the batched key pipeline through a sketch-backed
+// summary: a Subset summary over the C(16, 2) = 120 subset KMVs
+// consumes 256-row batches directly (no engine), so ns/op isolates the
+// per-(member, row) projection + fingerprint + sketch cost that the
+// member-major loops pay — the number the key-pipeline refactor moves.
+// One iteration is one row (each row fans out to all 120 members).
+func SketchIngest(b *testing.B) {
+	sum, err := core.NewSubset(benchDim, benchQ, 2, 0.1, 42, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows := benchRows()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for lo := 0; lo < b.N; lo += ingestRows {
+		n := ingestRows
+		if lo+n > b.N {
+			n = b.N - lo
+		}
+		sum.ObserveBatch(rows.Slice(0, n))
+	}
+}
+
 // benchQueries is a small mixed read batch over the bench engine's
 // reservoir-sample shards: point-frequency probes across distinct
 // projections (the class the sample summary answers).

@@ -165,9 +165,10 @@ type stableAdapter struct {
 	sk *sketch.Stable
 }
 
-func (a *stableAdapter) Add(item uint64)   { a.sk.Add(item) }
-func (a *stableAdapter) Estimate() float64 { return a.sk.EstimateMoment() }
-func (a *stableAdapter) SizeBytes() int    { return a.sk.SizeBytes() }
+func (a *stableAdapter) Add(item uint64)         { a.sk.Add(item) }
+func (a *stableAdapter) AddBatch(items []uint64) { a.sk.AddBatch(items) }
+func (a *stableAdapter) Estimate() float64       { return a.sk.EstimateMoment() }
+func (a *stableAdapter) SizeBytes() int          { return a.sk.SizeBytes() }
 
 // MergeEstimator implements anet.Mergeable.
 func (a *stableAdapter) MergeEstimator(o anet.Estimator) error {
@@ -187,7 +188,10 @@ func (a *stableAdapter) UnmarshalBinary(data []byte) error { return a.sk.Unmarsh
 
 // The F0 sketch wrappers add anet.Mergeable dispatch on top of the
 // typed Merge each sketch already provides; they also forward binary
-// (de)serialization so the communication harness keeps working.
+// (de)serialization so the communication harness keeps working. The
+// embedded sketches' AddBatch methods promote, so every wrapper
+// satisfies anet.BatchEstimator and member-major batch ingestion takes
+// the batched pipeline.
 type kmvEstimator struct{ *sketch.KMV }
 
 // MergeEstimator implements anet.Mergeable.

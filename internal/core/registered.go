@@ -25,6 +25,7 @@ type Registered struct {
 	khll    []*sketch.KHLL
 	bufs    []words.Word
 	keyBuf  []byte
+	fps     []uint64 // reusable fingerprint arena for ObserveBatch
 	rows    int64
 }
 
@@ -126,12 +127,14 @@ func (s *Registered) Observe(w words.Word) {
 	}
 }
 
-// ObserveBatch implements BatchObserver, subset-major: each registered
-// subset's F0 and KHLL sketches consume the whole batch in one inner
-// loop over its projection buffer, with KHLL ids assigned from the
-// running row index exactly as row-at-a-time Observe would — so the
-// sketch states (and the per-stream id semantics Merge documents) are
-// identical to the row path.
+// ObserveBatch implements BatchObserver, subset-major through the
+// batched key pipeline: each registered subset's whole-batch key arena
+// (words.AppendBatchKeys) is fingerprinted in one pass
+// (hashing.AppendFingerprints64) and fed to its F0 and KHLL sketches
+// via AddBatch, with KHLL ids assigned from the running row index
+// exactly as row-at-a-time Observe would — so the sketch states (and
+// the per-stream id semantics Merge documents) are identical to the
+// row path.
 func (s *Registered) ObserveBatch(b *words.Batch) {
 	if b.Dim() != s.d {
 		panic(fmt.Sprintf("core: batch dimension %d != dimension %d", b.Dim(), s.d))
@@ -143,16 +146,10 @@ func (s *Registered) ObserveBatch(b *words.Batch) {
 	base := uint64(s.rows)
 	s.rows += int64(n)
 	for i, c := range s.subsets {
-		buf := s.bufs[i]
-		f0, khll := s.f0[i], s.khll[i]
-		full := words.FullColumnSet(c.Len())
-		for r := 0; r < n; r++ {
-			b.Row(r).ProjectInto(c, buf)
-			s.keyBuf = words.AppendKey(s.keyBuf[:0], buf, full)
-			fp := hashing.Fingerprint64(s.keyBuf)
-			f0.Add(fp)
-			khll.Add(fp, base+uint64(r))
-		}
+		s.keyBuf = words.AppendBatchKeys(s.keyBuf[:0], b, c)
+		s.fps = hashing.AppendFingerprints64(s.fps[:0], s.keyBuf, n, 2*c.Len())
+		s.f0[i].AddBatch(s.fps)
+		s.khll[i].AddBatch(s.fps, base)
 	}
 }
 

@@ -25,6 +25,7 @@ type Subset struct {
 	sk      []*sketch.KMV
 	bufs    []words.Word
 	keyBuf  []byte
+	fps     []uint64 // reusable fingerprint arena for ObserveBatch
 	rows    int64
 }
 
@@ -97,13 +98,14 @@ func (s *Subset) Observe(w words.Word) {
 	}
 }
 
-// ObserveBatch implements BatchObserver, subset-major: the outer loop
-// walks the C(d, t) subsets once per batch and the inner loop streams
-// every row through that subset's projection buffer and sketch, so
-// per-subset setup (column set, buffer, key staging) is amortized over
-// the batch and each KMV's working set stays hot. Sketch states are
-// identical to row-at-a-time ingestion (KMV union is order-free and
-// each sketch sees the same fingerprint sequence).
+// ObserveBatch implements BatchObserver, subset-major through the
+// batched key pipeline: for each of the C(d, t) subsets the whole
+// batch is projected into one flat key arena (words.AppendBatchKeys),
+// fingerprinted in one pass (hashing.AppendFingerprints64), and fed to
+// that subset's KMV via AddBatch. Both arenas are owned by the summary
+// and reused across subsets and batches. Sketch states are identical
+// to row-at-a-time ingestion (each sketch sees the same fingerprint
+// sequence).
 func (s *Subset) ObserveBatch(b *words.Batch) {
 	if b.Dim() != s.d {
 		panic(fmt.Sprintf("core: batch dimension %d != data dimension %d", b.Dim(), s.d))
@@ -113,15 +115,11 @@ func (s *Subset) ObserveBatch(b *words.Batch) {
 		return
 	}
 	s.rows += int64(n)
-	full := words.FullColumnSet(s.t)
+	stride := 2 * s.t
 	for i, cs := range s.subsets {
-		buf := s.bufs[i]
-		sk := s.sk[i]
-		for r := 0; r < n; r++ {
-			b.Row(r).ProjectInto(cs, buf)
-			s.keyBuf = words.AppendKey(s.keyBuf[:0], buf, full)
-			sk.Add(hashing.Fingerprint64(s.keyBuf))
-		}
+		s.keyBuf = words.AppendBatchKeys(s.keyBuf[:0], b, cs)
+		s.fps = hashing.AppendFingerprints64(s.fps[:0], s.keyBuf, n, stride)
+		s.sk[i].AddBatch(s.fps)
 	}
 }
 

@@ -20,7 +20,8 @@ import (
 // projected word is recoverable via words.KeyToWord.
 type Vector struct {
 	counts map[string]int64
-	total  int64 // F_1 = n, invariant under C (as the paper notes)
+	total  int64  // F_1 = n, invariant under C (as the paper notes)
+	keyBuf []byte // reusable key arena for AddBatch
 }
 
 // NewVector returns an empty frequency vector.
@@ -44,9 +45,16 @@ func FromSource(src words.RowSource, c words.ColumnSet) *Vector {
 	}
 }
 
-// FromTable is FromSource over a materialized table.
+// FromTable counts a materialized table through the batched key
+// pipeline (one flat key arena for all rows), equivalent to FromSource
+// over the table's rows.
 func FromTable(t *words.Table, c words.ColumnSet) *Vector {
-	return FromSource(t.Source(), c)
+	if t.Dim() < 1 {
+		return FromSource(t.Source(), c)
+	}
+	v := NewVector()
+	v.AddBatch(t.Batch(), c)
+	return v
 }
 
 // Add increments the count of the pattern with the given key.
@@ -56,6 +64,23 @@ func (v *Vector) Add(key string, count int64) {
 	}
 	v.counts[key] += count
 	v.total += count
+}
+
+// AddBatch counts the projections of every row of b onto c,
+// equivalent to AddWord per row. The whole batch's keys are built into
+// one reusable arena (words.AppendBatchKeys) and counted by slicing
+// it, so only genuinely new patterns allocate (the map-key copy).
+func (v *Vector) AddBatch(b *words.Batch, c words.ColumnSet) {
+	n := b.Len()
+	if n == 0 {
+		return
+	}
+	v.keyBuf = words.AppendBatchKeys(v.keyBuf[:0], b, c)
+	stride := 2 * c.Len()
+	for i := 0; i < n; i++ {
+		v.counts[string(v.keyBuf[i*stride:(i+1)*stride])]++
+	}
+	v.total += int64(n)
 }
 
 // AddWord increments the count of w projected onto c.

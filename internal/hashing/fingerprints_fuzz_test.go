@@ -1,0 +1,35 @@
+package hashing
+
+import "testing"
+
+// FuzzAppendFingerprints64Equivalence checks the batched arena pass
+// against per-record Fingerprint64 over arbitrary packings: identical
+// fingerprints, in identical order, for every (n, stride) split of the
+// input bytes. Sketch state built through AddBatch is bit-identical to
+// the per-row path exactly because of this equality.
+func FuzzAppendFingerprints64Equivalence(f *testing.F) {
+	f.Add([]byte("abcdefgh"), uint8(4))
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte{0, 1, 2, 3, 4, 5}, uint8(1))
+	f.Fuzz(func(t *testing.T, arena []byte, strideRaw uint8) {
+		stride := int(strideRaw) % 17
+		var n int
+		if stride == 0 {
+			n = int(strideRaw) // empty records; arena must be empty
+			arena = arena[:0]
+		} else {
+			n = len(arena) / stride
+			arena = arena[:n*stride]
+		}
+		got := AppendFingerprints64([]uint64{0xDEAD}, arena, n, stride) // non-empty dst: must append
+		if len(got) != 1+n || got[0] != 0xDEAD {
+			t.Fatalf("appended %d fingerprints, want %d", len(got)-1, n)
+		}
+		for i := 0; i < n; i++ {
+			want := Fingerprint64(arena[i*stride : (i+1)*stride])
+			if got[1+i] != want {
+				t.Fatalf("record %d: %#016x, want %#016x", i, got[1+i], want)
+			}
+		}
+	})
+}

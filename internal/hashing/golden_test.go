@@ -1,0 +1,52 @@
+package hashing
+
+import "testing"
+
+// TestFingerprint64Golden pins the fingerprint function to literal
+// expected values. Fingerprints are a wire-visible contract: serialized
+// sketches store hashes of these fingerprints, and the batched arena
+// pass (AppendFingerprints64) promises byte-identical results — a
+// change that silently altered Fingerprint64 would invalidate every
+// persisted summary and checkpoint while all the relative-equality
+// tests kept passing.
+func TestFingerprint64Golden(t *testing.T) {
+	golden := []struct {
+		in   []byte
+		want uint64
+	}{
+		{nil, 0xf52a15e9a9b5e89b},
+		{[]byte{}, 0xf52a15e9a9b5e89b},
+		{[]byte{0}, 0x4b32c4df3f01430b},
+		{[]byte{0xff}, 0xc2476c29b2a5df40},
+		{[]byte("a"), 0x832be066bd43a3b8},
+		{[]byte("abc"), 0x2c2104b7ed2e2f86},
+		{[]byte{0, 1, 2, 3, 4, 5, 6, 7}, 0xd7314f83df4233f1},
+		{[]byte("projected frequency"), 0x342d124caa7076b9},
+	}
+	for _, g := range golden {
+		if got := Fingerprint64(g.in); got != g.want {
+			t.Errorf("Fingerprint64(%q) = %#016x, want %#016x", g.in, got, g.want)
+		}
+	}
+}
+
+// TestAppendFingerprints64Golden pins the batched arena pass to the
+// same literals through a packed three-record arena.
+func TestAppendFingerprints64Golden(t *testing.T) {
+	arena := []byte{0, 0xff, 'a'}
+	got := AppendFingerprints64(nil, arena, 3, 1)
+	want := []uint64{0x4b32c4df3f01430b, 0xc2476c29b2a5df40, 0x832be066bd43a3b8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("record %d: %#016x, want %#016x", i, got[i], want[i])
+		}
+	}
+	// Zero-stride records are empty keys: one empty-string fingerprint
+	// per record.
+	empty := AppendFingerprints64(nil, nil, 2, 0)
+	for i, fp := range empty {
+		if fp != 0xf52a15e9a9b5e89b {
+			t.Errorf("empty record %d: %#016x", i, fp)
+		}
+	}
+}

@@ -28,6 +28,35 @@ func Fingerprint64(b []byte) uint64 {
 	return rng.Mix64(h ^ uint64(len(b))*0x9e3779b97f4a7c15)
 }
 
+// AppendFingerprints64 fingerprints n consecutive stride-byte records
+// of arena and appends the n hashes onto dst, returning the extended
+// slice. Each hash equals Fingerprint64(arena[i*stride:(i+1)*stride])
+// exactly — one flat pass with no per-record slice headers, the second
+// stage of the batched key pipeline over the arena that
+// words.AppendBatchKeys builds. n is explicit so the zero-stride case
+// (an empty column set, where every record is the empty key) still
+// yields one fingerprint per record. It panics if len(arena) != n*stride.
+func AppendFingerprints64(dst []uint64, arena []byte, n, stride int) []uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	if len(arena) != n*stride {
+		panic("hashing: arena length is not n*stride")
+	}
+	lenMix := uint64(stride) * 0x9e3779b97f4a7c15
+	off := 0
+	for i := 0; i < n; i++ {
+		h := uint64(offset)
+		for end := off + stride; off < end; off++ {
+			h ^= uint64(arena[off])
+			h *= prime
+		}
+		dst = append(dst, rng.Mix64(h^lenMix))
+	}
+	return dst
+}
+
 // Mixer is a seeded bijective 64→64 bit mixer: h(x) = mix(x ^ seed1)
 // rotated and xored with seed2. It is cheap, full-avalanche, and the
 // workhorse hash for KMV/HLL-style sketches, which only need

@@ -85,11 +85,14 @@ func Restore(state [4]uint64) (*Source, error) {
 }
 
 // Uint64 returns the next 64 pseudo-random bits (xoshiro256**).
+// s[1] is hoisted into a local to keep the body within the inlining
+// budget, so draw-per-row loops pay no call overhead.
 func (r *Source) Uint64() uint64 {
-	result := bits.RotateLeft64(r.s[1]*5, 7) * 9
-	t := r.s[1] << 17
+	s1 := r.s[1]
+	result := bits.RotateLeft64(s1*5, 7) * 9
+	t := s1 << 17
 	r.s[2] ^= r.s[0]
-	r.s[3] ^= r.s[1]
+	r.s[3] ^= s1
 	r.s[1] ^= r.s[2]
 	r.s[0] ^= r.s[3]
 	r.s[2] ^= t
@@ -103,25 +106,42 @@ func (r *Source) Intn(n int) int {
 	if n <= 0 {
 		panic("rng: Intn with non-positive n")
 	}
-	bound := uint64(n)
-	for {
-		x := r.Uint64()
-		hi, lo := bits.Mul64(x, bound)
-		if lo >= bound || lo >= -bound%bound {
-			return int(hi)
-		}
-	}
+	return int(r.Uint64n(uint64(n)))
 }
 
 // Uint64n returns a uniform value in [0, n); it panics if n == 0.
+// Lemire's nearly-divisionless rejection: the overwhelmingly common
+// lo >= n acceptance is decided here without computing the exact
+// rejection threshold (which costs a division), keeping this fast path
+// small enough for mid-stack inlining into draw-per-row loops; the
+// rare near-boundary case falls through to Uint64nSlow. The emitted
+// draw stream is identical to the single-loop form — lo >= n implies
+// lo >= -n%n, so acceptance decisions never differ.
 func (r *Source) Uint64n(n uint64) uint64 {
 	if n == 0 {
 		panic("rng: Uint64n with zero bound")
 	}
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo >= n {
+		return hi
+	}
+	return r.Uint64nSlow(hi, lo, n)
+}
+
+// Uint64nSlow finishes a Uint64n draw whose first sample landed below
+// n: apply the exact threshold test to it, then keep drawing until a
+// sample is accepted. It is exported so draw-per-row hot loops can
+// manually inline the two-instruction fast path (Mul64 on Uint64, keep
+// when lo >= n) and spill only the rare near-boundary case here; the
+// combined stream is identical to calling Uint64n.
+func (r *Source) Uint64nSlow(hi, lo, n uint64) uint64 {
+	thresh := -n % n
 	for {
-		x := r.Uint64()
-		hi, lo := bits.Mul64(x, n)
-		if lo >= n || lo >= -n%n {
+		if lo >= thresh {
+			return hi
+		}
+		hi, lo = bits.Mul64(r.Uint64(), n)
+		if lo >= n {
 			return hi
 		}
 	}

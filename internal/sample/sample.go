@@ -9,6 +9,7 @@ package sample
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 
 	"repro/internal/hashing"
@@ -82,7 +83,15 @@ func (s *WithReplacement) ObserveBatch(b *words.Batch) {
 		src := s.srcs[i]
 		keep := -1
 		for r := 0; r < n; r++ {
-			if src.Uint64n(base+uint64(r)+1) == 0 {
+			// Manually inlined Uint64n fast path (see rng.Uint64nSlow):
+			// one inlined xoshiro draw per row, no call in the common
+			// case, bit-identical draw stream.
+			cnt := base + uint64(r) + 1
+			hi, lo := bits.Mul64(src.Uint64(), cnt)
+			if lo < cnt {
+				hi = src.Uint64nSlow(hi, lo, cnt)
+			}
+			if hi == 0 {
 				keep = r
 			}
 		}
@@ -211,15 +220,24 @@ func (r *Reservoir) ObserveBatch(b *words.Batch) {
 		r.rows = append(r.rows, b.Row(i).Clone())
 	}
 	var pending map[uint64]int
+	src, t, seen := r.src, uint64(r.t), uint64(r.seen)
 	for ; i < n; i++ {
-		r.seen++
-		if j := r.src.Uint64n(uint64(r.seen)); j < uint64(r.t) {
+		// Manually inlined Uint64n fast path (see rng.Uint64nSlow): one
+		// inlined xoshiro draw per row, no call in the common case,
+		// bit-identical draw stream.
+		seen++
+		hi, lo := bits.Mul64(src.Uint64(), seen)
+		if lo < seen {
+			hi = src.Uint64nSlow(hi, lo, seen)
+		}
+		if hi < t {
 			if pending == nil {
 				pending = make(map[uint64]int)
 			}
-			pending[j] = i
+			pending[hi] = i
 		}
 	}
+	r.seen = int64(seen)
 	for j, row := range pending {
 		r.rows[j] = b.Row(row).Clone()
 	}

@@ -57,6 +57,14 @@ func (s *BJKST) Add(item uint64) {
 	s.addHash(s.h.Hash(item))
 }
 
+// AddBatch observes every item of items in order, equivalent to
+// calling Add per item.
+func (s *BJKST) AddBatch(items []uint64) {
+	for _, item := range items {
+		s.addHash(s.h.Hash(item))
+	}
+}
+
 func (s *BJKST) addHash(hv uint64) {
 	if uint8(bits.TrailingZeros64(hv|1<<63)) < s.z {
 		return

@@ -64,6 +64,22 @@ func (s *HLL) Add(item uint64) {
 	}
 }
 
+// AddBatch observes every item of items in order, equivalent to
+// calling Add per item; the precision shifts are hoisted out of the
+// loop so the batched key pipeline pays one register probe per item.
+func (s *HLL) AddBatch(items []uint64) {
+	shift := 64 - uint(s.precision)
+	sentinel := uint64(1) << (uint(s.precision) - 1)
+	for _, item := range items {
+		hv := s.h.Hash(item)
+		idx := hv >> shift
+		rho := uint8(bits.LeadingZeros64(hv<<uint(s.precision)|sentinel)) + 1
+		if rho > s.reg[idx] {
+			s.reg[idx] = rho
+		}
+	}
+}
+
 func alphaM(m int) float64 {
 	switch m {
 	case 16:

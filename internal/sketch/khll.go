@@ -71,6 +71,15 @@ func (s *KHLL) Add(value, id uint64) {
 	s.refreshMax()
 }
 
+// AddBatch observes values[i] with id baseID+i for every i, equivalent
+// to calling Add(values[i], baseID+i) in order — the id assignment the
+// registered summary's row counter produces for a contiguous batch.
+func (s *KHLL) AddBatch(values []uint64, baseID uint64) {
+	for i, v := range values {
+		s.Add(v, baseID+uint64(i))
+	}
+}
+
 func (s *KHLL) refreshMax() {
 	if len(s.entries) < s.k {
 		s.maxHash = ^uint64(0)

@@ -73,6 +73,16 @@ func (s *KMV) Add(item uint64) {
 	s.addHash(s.h.Hash(item))
 }
 
+// AddBatch observes every item of items in order, equivalent to
+// calling Add per item. Items are raw fingerprints (the sketch's own
+// mixer is applied internally), so the batched key pipeline can feed
+// precomputed Fingerprint64 streams without changing sketch state.
+func (s *KMV) AddBatch(items []uint64) {
+	for _, item := range items {
+		s.addHash(s.h.Hash(item))
+	}
+}
+
 func (s *KMV) addHash(hv uint64) {
 	if _, dup := s.set[hv]; dup {
 		return

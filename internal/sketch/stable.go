@@ -68,6 +68,16 @@ func (s *Stable) AddCount(item uint64, count int64) {
 // Add observes a single occurrence of item.
 func (s *Stable) Add(item uint64) { s.AddCount(item, 1) }
 
+// AddBatch observes every item of items in order, equivalent to
+// calling Add per item. The variate derivation dominates, so batching
+// buys no amortization here — this exists so the batched key pipeline
+// has a uniform entry point across the sketch substrate.
+func (s *Stable) AddBatch(items []uint64) {
+	for _, item := range items {
+		s.AddCount(item, 1)
+	}
+}
+
 // EstimateNorm returns the estimate of ‖f‖_p.
 func (s *Stable) EstimateNorm() float64 {
 	abs := make([]float64, s.reps)

@@ -88,6 +88,21 @@ func (b *Batch) Symbols() []uint16 { return b.data }
 // Reset empties the batch, retaining its backing capacity for reuse.
 func (b *Batch) Reset() { b.data = b.data[:0] }
 
+// Bind rebinds b to wrap an existing flat row-major symbol slice
+// without copying, with the same shape checks as BatchOf. It lets a
+// long-lived Batch (an engine worker's, or a pooled decoder's) adopt a
+// recycled arena instead of allocating a fresh *Batch per chunk.
+func (b *Batch) Bind(d int, symbols []uint16) {
+	if d < 1 {
+		panic(fmt.Sprintf("words: batch dimension %d < 1", d))
+	}
+	if len(symbols)%d != 0 {
+		panic(fmt.Sprintf("words: %d symbols do not form whole rows of %d", len(symbols), d))
+	}
+	b.d = d
+	b.data = symbols
+}
+
 // Clone returns a copy of the batch sharing no storage with b.
 func (b *Batch) Clone() *Batch {
 	return &Batch{d: b.d, data: append([]uint16(nil), b.data...)}

@@ -1,0 +1,29 @@
+package words
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestAppendKeyGolden pins the projection-key encoding to literal
+// bytes: two little-endian bytes per projected symbol, in column-set
+// order (ascending columns). The encoding is a wire-visible contract —
+// frequency vectors, sketch fingerprints, and serialized summaries all
+// derive from these bytes — so a change must fail loudly here, not
+// just shift every hash in tandem.
+func TestAppendKeyGolden(t *testing.T) {
+	k1 := AppendKey(nil, Word{1, 2, 3, 4}, MustColumnSet(4, 0, 2))
+	if want := []byte{0x01, 0x00, 0x03, 0x00}; !bytes.Equal(k1, want) {
+		t.Errorf("key over columns {0,2}: %#v, want %#v", k1, want)
+	}
+	// Columns are kept sorted regardless of argument order, and both
+	// bytes of a wide symbol land low byte first.
+	k2 := AppendKey(nil, Word{0x0102, 0x0304, 0x0506}, MustColumnSet(3, 2, 0, 1))
+	if want := []byte{0x02, 0x01, 0x04, 0x03, 0x06, 0x05}; !bytes.Equal(k2, want) {
+		t.Errorf("full-width key: %#v, want %#v", k2, want)
+	}
+	// Empty column set: empty key, buffer untouched.
+	if k := AppendKey(nil, Word{7}, MustColumnSet(1)); len(k) != 0 {
+		t.Errorf("empty column set produced key %#v", k)
+	}
+}

@@ -127,6 +127,15 @@ func (t *Table) Source() RowSource {
 	return &tableSource{t: t}
 }
 
+// Batch returns the table's rows as a Batch aliasing its storage (no
+// copy), so bulk consumers — the batched key pipeline in particular —
+// can walk the table without a per-row source loop. Callers must treat
+// it as read-only and not retain it across table mutations. It panics
+// if the table has zero columns (Batch requires d >= 1).
+func (t *Table) Batch() *Batch {
+	return BatchOf(t.d, t.data)
+}
+
 // SizeBytes returns the in-memory footprint of the row storage, the
 // quantity the naïve baseline pays.
 func (t *Table) SizeBytes() int { return 2 * len(t.data) }
