@@ -1,0 +1,103 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHealthCheckerEjectsAndReadmits pins the state machine: ejection
+// needs `threshold` consecutive failures, any success re-admits
+// immediately, and pick always orders healthy aggregators first while
+// keeping ejected ones reachable as a last resort.
+func TestHealthCheckerEjectsAndReadmits(t *testing.T) {
+	h := newHealthChecker([]string{"http://a", "http://b"}, 3, http.DefaultClient)
+
+	// Two failures: below threshold, still healthy.
+	h.report("http://a", false, nil)
+	h.report("http://a", false, nil)
+	if st := h.snapshot(); !st[0].Healthy || st[0].ConsecFailures != 2 {
+		t.Fatalf("below threshold: %+v", st[0])
+	}
+	// Third consecutive failure ejects.
+	h.report("http://a", false, nil)
+	if st := h.snapshot(); st[0].Healthy || st[0].Ejections != 1 {
+		t.Fatalf("at threshold: %+v", st[0])
+	}
+	// Ejected nodes sort last but are never dropped.
+	for i := 0; i < 4; i++ {
+		order := h.pick()
+		if len(order) != 2 || order[0] != "http://b" || order[1] != "http://a" {
+			t.Fatalf("pick with a ejected: %v", order)
+		}
+	}
+	// One success re-admits; further failures need a fresh streak.
+	h.report("http://a", true, nil)
+	if st := h.snapshot(); !st[0].Healthy || st[0].ConsecFailures != 0 {
+		t.Fatalf("after re-admission: %+v", st[0])
+	}
+	h.report("http://a", false, nil)
+	h.report("http://a", false, nil)
+	if st := h.snapshot(); !st[0].Healthy {
+		t.Fatalf("streak did not reset: %+v", st[0])
+	}
+}
+
+// flakyAgg is an aggregator whose /v1/stats (and everything else)
+// answers a switchable status.
+type flakyAgg struct {
+	mu     sync.Mutex
+	status int
+}
+
+func (f *flakyAgg) setStatus(code int) {
+	f.mu.Lock()
+	f.status = code
+	f.mu.Unlock()
+}
+
+func (f *flakyAgg) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		code := f.status
+		f.mu.Unlock()
+		if code != 0 {
+			http.Error(w, "injected failure", code)
+			return
+		}
+		_, _ = w.Write([]byte(`{}`))
+	})
+}
+
+// TestHealthProbeLoopEjectsDeadAggregator runs the background probe
+// loop against a failing aggregator and watches /v1/router/stats flip
+// it unhealthy, then healthy again after recovery — no proxy traffic
+// involved.
+func TestHealthProbeLoopEjectsDeadAggregator(t *testing.T) {
+	agg := &flakyAgg{}
+	ats := httptest.NewServer(agg.handler())
+	t.Cleanup(ats.Close)
+	ing := httptest.NewServer((&fakeIngest{}).handler())
+	t.Cleanup(ing.Close)
+
+	r := newTestRouter(t, []string{ing.URL}, []string{ats.URL}, routerConfig{
+		timeout:         time.Second,
+		healthInterval:  5 * time.Millisecond,
+		healthThreshold: 2,
+	})
+	rs := httptest.NewServer(r)
+	t.Cleanup(rs.Close)
+
+	agg.setStatus(http.StatusInternalServerError)
+	waitUntil(t, 5*time.Second, "aggregator ejected by probes", func() bool {
+		st := routerStats(t, rs.URL)
+		return len(st.Aggregators) == 1 && !st.Aggregators[0].Healthy
+	})
+	agg.setStatus(0)
+	waitUntil(t, 5*time.Second, "aggregator re-admitted by probes", func() bool {
+		st := routerStats(t, rs.URL)
+		return st.Aggregators[0].Healthy && st.Aggregators[0].Probes > 0
+	})
+}

@@ -2,17 +2,18 @@
 // projfreq cluster. Writers POST row batches to its /v1/observe; the
 // router consistent-hashes every row to one of the ingest daemons
 // (-ingest) and forwards the per-node sub-batches concurrently.
-// Readers hit /v1/query or /v1/summary; the router proxies them to an
-// aggregator (-aggregators) round-robin, failing over to the next one
-// when an aggregator is down.
+// Readers hit /v1/query or /v1/summary; the router proxies them to a
+// health-checked aggregator (-aggregators), preferring ones whose
+// recent probes succeeded and failing over across the rest.
 //
 // The split mirrors the paper's aggregation model: ingest nodes
 // summarize disjoint row slices (the ring keeps them disjoint),
 // aggregators merge the per-node summaries, and mergeability makes
 // the merged answer identical to a single process that saw every row.
-// The router itself is stateless — no rows, no summaries, no WAL —
-// so any number of routers can front the same cluster and a restarted
-// router needs no recovery.
+// The router keeps no rows, summaries, or WAL — its only state is the
+// bounded redelivery queue per ingest node (see retry.go), which is
+// soft: a restarted router forgets queued batches, and the two-level
+// ack tells clients exactly which rows were only queued.
 //
 // Usage:
 //
@@ -20,11 +21,21 @@
 //	    -ingest http://n1:8080,http://n2:8080 \
 //	    -aggregators http://agg:8081
 //
-// Partial ingest is possible when an ingest node is down: the rows
-// owned by live nodes are accepted and the response reports each
-// node's outcome individually with an overall 502, so a client can
-// retry knowing exactly which slice is missing. Rows are hashed by
-// content, so a retried batch re-routes identically.
+// Acks are two-level. "routed" rows were durably acked by their
+// ingest node; "queued" rows failed their first delivery retryably
+// and sit in that node's redelivery queue (accepted = routed +
+// queued). When a node's queue is full its further slices are shed
+// and the response is a 503 — the client owns retrying exactly the
+// shed slices (rows are hashed by content, so a retried slice
+// re-routes identically). With the queue disabled
+// (-retry-queue-rows=0) a dead node's slice is a terminal per-node
+// error with an overall 502, the pre-queue contract.
+//
+// Membership is versioned: POST /v1/admin/membership swaps in a new
+// -ingest list as the next ring epoch, requeues removed nodes'
+// backlogs through the new ring, orchestrates slice hand-off
+// (each removed node's summary absorbed by its ring successor), and
+// retargets the aggregators' pull sources — see membership.go.
 package main
 
 import (
@@ -36,17 +47,18 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"sort"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"syscall"
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/store"
 	"repro/internal/words"
 )
 
@@ -62,33 +74,60 @@ func main() {
 
 func run() error {
 	var (
-		addr    = flag.String("addr", ":8090", "listen address")
-		ingest  = flag.String("ingest", "", "comma-separated ingest daemon base URLs (required)")
-		aggs    = flag.String("aggregators", "", "comma-separated aggregator base URLs (required)")
-		timeout = flag.Duration("timeout", 30*time.Second, "per-upstream HTTP timeout")
+		addr     = flag.String("addr", ":8090", "listen address")
+		portfile = flag.String("portfile", "", "write the bound listen address to this file (for harnesses that spawn with :0)")
+		ingest   = flag.String("ingest", "", "comma-separated ingest daemon base URLs (required)")
+		aggs     = flag.String("aggregators", "", "comma-separated aggregator base URLs (required)")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-upstream HTTP timeout")
+
+		retryRows = flag.Int("retry-queue-rows", 1<<16, "per-node redelivery queue bound in rows (0 disables queueing: failed slices are terminal 502s)")
+		retryBase = flag.Duration("retry-base", 50*time.Millisecond, "initial redelivery backoff")
+		retryMax  = flag.Duration("retry-max", 5*time.Second, "redelivery backoff ceiling")
+
+		healthEvery = flag.Duration("health-interval", time.Second, "aggregator health probe interval (0 disables the probe loop)")
+		healthN     = flag.Int("health-threshold", 3, "consecutive failed checks before an aggregator is ejected")
 	)
 	flag.Parse()
 	if *ingest == "" || *aggs == "" {
 		return errors.New("both -ingest and -aggregators are required")
 	}
-	r, err := newRouter(strings.Split(*ingest, ","), strings.Split(*aggs, ","), *timeout)
+	r, err := newRouter(strings.Split(*ingest, ","), strings.Split(*aggs, ","), routerConfig{
+		timeout:         *timeout,
+		retryCapRows:    *retryRows,
+		retryBase:       *retryBase,
+		retryMax:        *retryMax,
+		healthInterval:  *healthEvery,
+		healthThreshold: *healthN,
+	})
 	if err != nil {
 		return err
 	}
+	defer r.Close()
 
 	httpSrv := &http.Server{
-		Addr:              *addr,
 		Handler:           r,
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       5 * time.Minute,
 		IdleTimeout:       2 * time.Minute,
 	}
+	// Listen before writing the portfile so a harness that polls the
+	// file never sees an address nothing is bound to yet.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	if *portfile != "" {
+		if err := store.WriteFileAtomic(*portfile, []byte(ln.Addr().String()), 0o644); err != nil {
+			ln.Close()
+			return fmt.Errorf("writing portfile: %w", err)
+		}
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
-	go func() { errc <- httpSrv.ListenAndServe() }()
+	go func() { errc <- httpSrv.Serve(ln) }()
 	log.Printf("projfreq-router: %d ingest nodes, %d aggregators, serving on %s",
-		r.ring.Len(), len(r.aggs), *addr)
+		len(r.ingestNodes()), len(r.aggs), ln.Addr())
 
 	select {
 	case err := <-errc:
@@ -101,15 +140,59 @@ func run() error {
 	}
 }
 
-// router holds the cluster membership and the forwarding client. It
-// is immutable after construction apart from the counters.
+// routerConfig collects the router's tunables so tests can build
+// routers with small queues and fast backoffs.
+type routerConfig struct {
+	timeout time.Duration
+	// retryCapRows bounds each node's redelivery queue; 0 disables
+	// queueing entirely (failed slices become terminal errors).
+	retryCapRows int
+	retryBase    time.Duration
+	retryMax     time.Duration
+	// healthInterval runs the aggregator probe loop; 0 disables it
+	// (proxy outcomes still drive ejection).
+	healthInterval  time.Duration
+	healthThreshold int
+}
+
+// withDefaults fills zero-valued backoffs; a zero retryCapRows is
+// meaningful (queue off) and left alone.
+func (c routerConfig) withDefaults() routerConfig {
+	if c.retryBase <= 0 {
+		c.retryBase = 50 * time.Millisecond
+	}
+	if c.retryMax < c.retryBase {
+		c.retryMax = 5 * time.Second
+	}
+	if c.healthThreshold < 1 {
+		c.healthThreshold = 3
+	}
+	return c
+}
+
+// router fronts the cluster: a swappable consistent-hash ring over
+// the ingest tier, one redelivery queue per ingest node, and a
+// health-checked aggregator list for reads.
 type router struct {
-	ring   *cluster.Ring
 	aggs   []string
 	client *http.Client
 	mux    *http.ServeMux
+	cfg    routerConfig
+	health *healthChecker
 
-	rr atomic.Uint64 // round-robin cursor over aggs
+	// ringMu orders observes against membership swaps: observes hold
+	// the read lock across partition+forward+enqueue, a membership
+	// change holds the write lock while swapping ring and queue set.
+	// So once the swap returns, no in-flight batch can still reach a
+	// removed node or its queue — which is what makes the subsequent
+	// hand-off a complete picture of that node's slice.
+	ringMu sync.RWMutex
+	ring   *cluster.Ring
+	queues map[string]*retryQueue
+
+	// membershipMu serializes /v1/admin/membership end to end (swap,
+	// requeue, hand-off, source updates are one transaction).
+	membershipMu sync.Mutex
 
 	mu    sync.Mutex
 	stats map[string]*nodeStats
@@ -121,7 +204,8 @@ type nodeStats struct {
 	Errors   int64 `json:"errors"`
 }
 
-func newRouter(ingest, aggs []string, timeout time.Duration) (*router, error) {
+func newRouter(ingest, aggs []string, cfg routerConfig) (*router, error) {
+	cfg = cfg.withDefaults()
 	ring, err := cluster.NewRing(normalize(ingest))
 	if err != nil {
 		return nil, fmt.Errorf("ingest tier: %w", err)
@@ -134,9 +218,18 @@ func newRouter(ingest, aggs []string, timeout time.Duration) (*router, error) {
 	r := &router{
 		ring:   ring,
 		aggs:   a,
-		client: &http.Client{Timeout: timeout},
+		client: &http.Client{Timeout: cfg.timeout},
 		mux:    http.NewServeMux(),
+		cfg:    cfg,
 		stats:  make(map[string]*nodeStats),
+	}
+	r.health = newHealthChecker(a, cfg.healthThreshold, r.client)
+	r.health.start(cfg.healthInterval)
+	if cfg.retryCapRows > 0 {
+		r.queues = make(map[string]*retryQueue, ring.Len())
+		for _, n := range ring.Nodes() {
+			r.queues[n] = r.newQueue(n)
+		}
 	}
 	for _, n := range append(ring.Nodes(), a...) {
 		if r.stats[n] == nil {
@@ -147,7 +240,39 @@ func newRouter(ingest, aggs []string, timeout time.Duration) (*router, error) {
 	r.mux.HandleFunc("POST /v1/query", r.proxyToAggregator)
 	r.mux.HandleFunc("GET /v1/summary", r.proxyToAggregator)
 	r.mux.HandleFunc("GET /v1/stats", r.handleStats)
+	r.mux.HandleFunc("GET /v1/router/stats", r.handleRouterStats)
+	r.mux.HandleFunc("POST /v1/admin/membership", r.handleAdminMembership)
 	return r, nil
+}
+
+// newQueue builds one node's redelivery queue wired to the router's
+// forwarding client.
+func (r *router) newQueue(node string) *retryQueue {
+	return newRetryQueue(node, r.cfg.retryCapRows, r.cfg.retryBase, r.cfg.retryMax,
+		func(n string, b *words.Batch) deliverResult {
+			_, res := r.postObserve(n, b)
+			return res
+		})
+}
+
+// Close stops the queue workers and the health probe loop. Queued
+// batches are dropped — router redelivery state is soft by design.
+func (r *router) Close() {
+	r.health.stopProbes()
+	r.ringMu.Lock()
+	queues := r.queues
+	r.queues = nil
+	r.ringMu.Unlock()
+	for _, q := range queues {
+		q.close()
+	}
+}
+
+// ingestNodes reads the current ring membership.
+func (r *router) ingestNodes() []string {
+	r.ringMu.RLock()
+	defer r.ringMu.RUnlock()
+	return r.ring.Nodes()
 }
 
 // normalize trims and deduplicates upstream URLs.
@@ -195,21 +320,31 @@ type observeRequest struct {
 }
 
 // nodeResult is one ingest node's outcome for its slice of a batch.
-// Accepted counts only rows the node acknowledged: when Error is set,
-// that node's slice was NOT ingested and the client owns the retry.
+// Routed rows were acked by the node; Queued rows await redelivery in
+// the router (Accepted = Routed + Queued); Shed rows were refused
+// because the node's queue is full — the client owns retrying those,
+// and only those. Error is set for shed slices and terminal failures.
 type nodeResult struct {
 	Node     string `json:"node"`
 	Rows     int    `json:"rows"`
 	Accepted int    `json:"accepted"`
+	Routed   int    `json:"routed"`
+	Queued   int    `json:"queued,omitempty"`
+	Shed     int    `json:"shed,omitempty"`
 	Error    string `json:"error,omitempty"`
 }
 
-// observeResponse reports the fan-out's outcome. Accepted < Rows
-// (with Partial=true and status 502) means some nodes rejected or
-// were unreachable; Results says which.
+// observeResponse reports the fan-out's outcome with the two-level
+// ack totals. Status mapping: 503 when any rows were shed
+// (backpressure — retry the shed slices later); 502 when a slice
+// failed terminally (or any failure with the queue disabled); 200
+// otherwise, even if some rows are only queued.
 type observeResponse struct {
 	Rows     int          `json:"rows"`
 	Accepted int          `json:"accepted"`
+	Routed   int          `json:"routed"`
+	Queued   int          `json:"queued,omitempty"`
+	Shed     int          `json:"shed,omitempty"`
 	Partial  bool         `json:"partial,omitempty"`
 	Results  []nodeResult `json:"results"`
 }
@@ -248,6 +383,11 @@ func (r *router) handleObserve(w http.ResponseWriter, req *http.Request) {
 		copy(batch.AppendRow(), row)
 	}
 
+	// The read lock pins the ring and the queue set for the whole
+	// fan-out: a concurrent membership change waits for us, so our
+	// sub-batches can neither land on a node after its hand-off nor be
+	// enqueued to a queue being torn down.
+	r.ringMu.RLock()
 	parts := r.ring.PartitionBatch(batch)
 	results := make([]nodeResult, 0, len(parts))
 	var mu sync.Mutex
@@ -263,80 +403,116 @@ func (r *router) handleObserve(w http.ResponseWriter, req *http.Request) {
 		}(node, part)
 	}
 	wg.Wait()
+	r.ringMu.RUnlock()
 	sort.Slice(results, func(i, j int) bool { return results[i].Node < results[j].Node })
 
 	resp := observeResponse{Rows: batch.Len(), Results: results}
 	for _, res := range results {
 		resp.Accepted += res.Accepted
+		resp.Routed += res.Routed
+		resp.Queued += res.Queued
+		resp.Shed += res.Shed
 		if res.Error != "" {
 			resp.Partial = true
 		}
 	}
 	w.Header().Set("Content-Type", "application/json")
-	if resp.Partial {
-		// 502, not 500: the router did its job; an upstream did not.
-		// The body still carries every node's outcome so the client can
-		// retry just the missing slice (content-hashed rows re-route
-		// identically).
+	switch {
+	case resp.Shed > 0:
+		// Backpressure: the overloaded node's queue is full. The client
+		// retries the shed slices once the queue drains.
+		w.WriteHeader(http.StatusServiceUnavailable)
+	case resp.Partial:
+		// Terminal per-node failure (or any failure with the queue
+		// disabled): the failed slices will never be delivered by the
+		// router. 502, not 500: the router did its job; an upstream (or
+		// the batch itself, for a node-side 4xx) did not.
 		w.WriteHeader(http.StatusBadGateway)
 	}
 	_ = json.NewEncoder(w).Encode(resp)
 }
 
-// forwardObserve ships one node's sub-batch to its /v1/observe.
+// forwardObserve ships one node's sub-batch to its /v1/observe,
+// falling back to that node's redelivery queue on retryable failure.
+// Callers hold ringMu.RLock.
 func (r *router) forwardObserve(node string, part *words.Batch) nodeResult {
 	res := nodeResult{Node: node, Rows: part.Len()}
+	accepted, out := r.postObserve(node, part)
+	r.count(node, !out.ok)
+	switch {
+	case out.ok:
+		res.Routed = accepted
+		res.Accepted = accepted
+	case out.terminal:
+		// The node rejected the slice (4xx): redelivering the same bytes
+		// can never succeed, so this is the client's error to hear about.
+		res.Error = out.err.Error()
+	case r.queues != nil:
+		q := r.queues[node]
+		if q == nil {
+			// A node in the ring always has a queue; guard anyway.
+			res.Error = out.err.Error()
+		} else if q.enqueue(part) {
+			res.Queued = part.Len()
+			res.Accepted = part.Len()
+		} else {
+			res.Shed = part.Len()
+			res.Error = fmt.Sprintf("redelivery queue full (cap %d rows); slice shed after: %v",
+				r.cfg.retryCapRows, out.err)
+		}
+	default:
+		res.Error = out.err.Error()
+	}
+	return res
+}
+
+// postObserve POSTs one sub-batch to one node and classifies the
+// outcome: ok (node acked), terminal (node answered 4xx — the same
+// bytes can never succeed), or retryable (transport error, timeout,
+// or 5xx). Shared by the first-attempt path and queue redelivery.
+func (r *router) postObserve(node string, part *words.Batch) (int, deliverResult) {
 	rows := make([][]uint16, part.Len())
 	for i := range rows {
 		rows[i] = part.Row(i)
 	}
 	blob, err := json.Marshal(observeRequest{Rows: rows})
 	if err != nil {
-		res.Error = err.Error()
-		r.count(node, true)
-		return res
+		return 0, deliverResult{terminal: true, err: err}
 	}
 	resp, err := r.client.Post(node+"/v1/observe", "application/json", bytes.NewReader(blob))
 	if err != nil {
-		res.Error = err.Error()
-		r.count(node, true)
-		return res
+		return 0, deliverResult{err: err}
 	}
 	defer resp.Body.Close()
 	out, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	if resp.StatusCode != http.StatusOK {
-		res.Error = fmt.Sprintf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(out)))
-		r.count(node, true)
-		return res
+		err := fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(out)))
+		terminal := resp.StatusCode >= 400 && resp.StatusCode < 500
+		return 0, deliverResult{terminal: terminal, err: err}
 	}
 	var ack struct {
 		Accepted int `json:"accepted"`
 	}
-	if err := json.Unmarshal(out, &ack); err != nil {
-		res.Error = fmt.Sprintf("bad ack: %v", err)
-		r.count(node, true)
-		return res
+	accepted := part.Len()
+	if err := json.Unmarshal(out, &ack); err == nil && ack.Accepted > 0 {
+		accepted = ack.Accepted
 	}
-	res.Accepted = ack.Accepted
-	r.count(node, false)
-	return res
+	return accepted, deliverResult{ok: true}
 }
 
 // proxyToAggregator forwards a read (/v1/query, /v1/summary) to an
-// aggregator, starting at the round-robin cursor and failing over to
-// the next on transport errors. Upstream HTTP statuses (including
-// 304 for conditional summary GETs) pass through verbatim — only
-// unreachable aggregators trigger failover.
+// aggregator in health order — healthy ones first, ejected ones as a
+// last resort — failing over on transport errors. Upstream HTTP
+// statuses (including 304 for conditional summary GETs) pass through
+// verbatim; every outcome feeds the health tracker.
 func (r *router) proxyToAggregator(w http.ResponseWriter, req *http.Request) {
 	body, err := io.ReadAll(req.Body)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	start := int(r.rr.Add(1)-1) % len(r.aggs)
 	var lastErr error
-	for i := 0; i < len(r.aggs); i++ {
-		agg := r.aggs[(start+i)%len(r.aggs)]
+	for _, agg := range r.health.pick() {
 		out, err := http.NewRequest(req.Method, agg+req.URL.Path, bytes.NewReader(body))
 		if err != nil {
 			lastErr = err
@@ -353,9 +529,11 @@ func (r *router) proxyToAggregator(w http.ResponseWriter, req *http.Request) {
 		if err != nil {
 			lastErr = err
 			r.count(agg, true)
+			r.health.report(agg, false, err)
 			continue
 		}
 		r.count(agg, false)
+		r.health.report(agg, true, nil)
 		for k, vs := range resp.Header {
 			for _, v := range vs {
 				w.Header().Add(k, v)
@@ -370,7 +548,8 @@ func (r *router) proxyToAggregator(w http.ResponseWriter, req *http.Request) {
 	httpError(w, http.StatusBadGateway, fmt.Errorf("no aggregator reachable: %w", lastErr))
 }
 
-// statsResponse is the router's own /v1/stats body.
+// statsResponse is the router's legacy /v1/stats body (kept so the
+// cluster harness can health-poll every tier the same way).
 type statsResponse struct {
 	Role        string                `json:"role"`
 	Ingest      []string              `json:"ingest"`
@@ -389,8 +568,39 @@ func (r *router) handleStats(w http.ResponseWriter, req *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(statsResponse{
 		Role:        "router",
-		Ingest:      r.ring.Nodes(),
+		Ingest:      r.ingestNodes(),
 		Aggregators: r.aggs,
 		Nodes:       nodes,
 	})
+}
+
+// routerStatsResponse is the fault-tolerance view: ring epoch, queue
+// depths and shed counters per ingest node, aggregator health.
+type routerStatsResponse struct {
+	Role        string       `json:"role"`
+	Epoch       uint64       `json:"epoch"`
+	Ingest      []string     `json:"ingest"`
+	Queues      []queueStats `json:"queues,omitempty"`
+	Aggregators []aggHealth  `json:"aggregators"`
+}
+
+func (r *router) handleRouterStats(w http.ResponseWriter, req *http.Request) {
+	r.ringMu.RLock()
+	resp := routerStatsResponse{
+		Role:   "router",
+		Epoch:  r.ring.Epoch(),
+		Ingest: r.ring.Nodes(),
+	}
+	qs := make([]*retryQueue, 0, len(r.queues))
+	for _, q := range r.queues {
+		qs = append(qs, q)
+	}
+	r.ringMu.RUnlock()
+	for _, q := range qs {
+		resp.Queues = append(resp.Queues, q.snapshot())
+	}
+	sort.Slice(resp.Queues, func(i, j int) bool { return resp.Queues[i].Node < resp.Queues[j].Node })
+	resp.Aggregators = r.health.snapshot()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
 }

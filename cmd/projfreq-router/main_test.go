@@ -55,7 +55,9 @@ func testRows(n, d int) [][]uint16 {
 }
 
 // startRouterTier builds N fake ingest nodes, one fake aggregator,
-// and a router over them.
+// and a router over them. The redelivery queue is disabled so these
+// tests pin the legacy terminal-502 contract; the queue-enabled
+// behavior has its own tests in retry_test.go.
 func startRouterTier(t *testing.T, n int) (*httptest.Server, []*fakeIngest, []string) {
 	t.Helper()
 	ingests := make([]*fakeIngest, n)
@@ -72,13 +74,22 @@ func startRouterTier(t *testing.T, n int) (*httptest.Server, []*fakeIngest, []st
 		_, _ = w.Write([]byte(`{"ok":true}`))
 	}))
 	t.Cleanup(agg.Close)
-	r, err := newRouter(urls, []string{agg.URL}, 5*time.Second)
-	if err != nil {
-		t.Fatal(err)
-	}
+	r := newTestRouter(t, urls, []string{agg.URL}, routerConfig{timeout: 5 * time.Second})
 	rs := httptest.NewServer(r)
 	t.Cleanup(rs.Close)
 	return rs, ingests, urls
+}
+
+// newTestRouter builds a router and ties its background goroutines to
+// the test's lifetime.
+func newTestRouter(t *testing.T, ingest, aggs []string, cfg routerConfig) *router {
+	t.Helper()
+	r, err := newRouter(ingest, aggs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	return r
 }
 
 // TestRouterPartitionsByRing checks the fan-out: every row lands on
@@ -215,10 +226,7 @@ func TestRouterFailsOverAcrossAggregators(t *testing.T) {
 
 	ing := httptest.NewServer((&fakeIngest{}).handler())
 	defer ing.Close()
-	r, err := newRouter([]string{ing.URL}, []string{deadURL, live.URL}, time.Second)
-	if err != nil {
-		t.Fatal(err)
-	}
+	r := newTestRouter(t, []string{ing.URL}, []string{deadURL, live.URL}, routerConfig{timeout: time.Second})
 	rs := httptest.NewServer(r)
 	defer rs.Close()
 
@@ -239,10 +247,7 @@ func TestRouterFailsOverAcrossAggregators(t *testing.T) {
 	}
 
 	// All aggregators down: 502.
-	r2, err := newRouter([]string{ing.URL}, []string{deadURL}, time.Second)
-	if err != nil {
-		t.Fatal(err)
-	}
+	r2 := newTestRouter(t, []string{ing.URL}, []string{deadURL}, routerConfig{timeout: time.Second})
 	rs2 := httptest.NewServer(r2)
 	defer rs2.Close()
 	resp, err := http.Post(rs2.URL+"/v1/query", "application/json", bytes.NewReader([]byte(`{}`)))

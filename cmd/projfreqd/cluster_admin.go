@@ -1,0 +1,168 @@
+// Cluster-membership admin endpoints: slice hand-off on ingest nodes
+// and dynamic pull-source management on aggregators. Both exist for
+// one invariant — across a membership change, every accepted row stays
+// in exactly one live summary:
+//
+//   - /v1/admin/handoff makes this daemon pull a departing peer's
+//     /v1/summary once and absorb it (AbsorbSource, replace semantics),
+//     so the peer's slice of the stream survives inside this daemon's
+//     own export. Re-issuing the hand-off is safe: a re-pull replaces
+//     the previous absorption instead of double-counting it.
+//   - /v1/admin/sources adds and removes anti-entropy sources on an
+//     aggregator, dropping the removed peers' absorbed state in the
+//     same step — once a successor's export carries the departed
+//     peer's rows, keeping the aggregator's direct copy would count
+//     them twice.
+//
+// The router's /v1/admin/membership endpoint drives both in order
+// (hand-off first, then source updates) when its -ingest list changes.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// handoffRequest is the POST /v1/admin/handoff body: the base URL of
+// the departing peer whose summary this daemon should absorb.
+type handoffRequest struct {
+	Source string `json:"source"`
+}
+
+// handoffResponse reports one completed hand-off.
+type handoffResponse struct {
+	Source string `json:"source"`
+	// Rows is the row count the peer's summary reported (its
+	// X-Epoch-Rows header).
+	Rows int64 `json:"rows"`
+	// ETag is the validator of the absorbed blob.
+	ETag string `json:"etag,omitempty"`
+}
+
+// handleAdminHandoff absorbs a departing peer's summary: one
+// conditional-GET pull of the peer's /v1/summary applied through the
+// same Applier path the aggregator role uses. The absorbed state is
+// keyed by the peer's URL, so a repeated hand-off (orchestrator retry,
+// or a re-issue after this daemon restarted) replaces rather than
+// accumulates. Hand-off state is soft — not WAL-logged — which is why
+// the departing peer must stay decommission-able (its durable store
+// intact) until the cluster has converged; /v1/stats lists completed
+// hand-offs so an orchestrator can verify before decommissioning.
+func (s *server) handleAdminHandoff(w http.ResponseWriter, r *http.Request) {
+	var req handoffRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		bodyError(w, fmt.Errorf("decoding handoff request: %w", err))
+		return
+	}
+	src := strings.TrimRight(strings.TrimSpace(req.Source), "/")
+	if src == "" {
+		httpError(w, http.StatusBadRequest, errors.New("handoff needs a source URL"))
+		return
+	}
+	// A one-shot puller reuses the anti-entropy machinery (conditional
+	// GET, apply-before-ETag-advance) for a single round against a
+	// single source.
+	to := s.pullTimeout
+	if to <= 0 {
+		to = 30 * time.Second
+	}
+	p, err := cluster.NewPuller([]string{src}, s, to)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), to)
+	defer cancel()
+	if err := p.PullOnce(ctx); err != nil {
+		// The peer is unreachable or its blob did not apply: nothing was
+		// absorbed (the ETag never advances past a failed apply), so the
+		// orchestrator can retry the identical request.
+		httpError(w, http.StatusBadGateway, fmt.Errorf("handoff from %s: %w", src, err))
+		return
+	}
+	st := p.Stats()[0]
+	s.handoffMu.Lock()
+	if s.handoffs == nil {
+		s.handoffs = make(map[string]cluster.SourceStats)
+	}
+	s.handoffs[st.URL] = st
+	s.handoffMu.Unlock()
+	writeJSON(w, handoffResponse{Source: st.URL, Rows: st.Rows, ETag: st.ETag})
+}
+
+// handoffStats lists completed hand-offs, sorted by source URL.
+func (s *server) handoffStats() []cluster.SourceStats {
+	s.handoffMu.Lock()
+	defer s.handoffMu.Unlock()
+	out := make([]cluster.SourceStats, 0, len(s.handoffs))
+	for _, st := range s.handoffs {
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
+	return out
+}
+
+// sourcesRequest is the POST /v1/admin/sources body: pull sources to
+// add and to remove. Removal also drops the source's absorbed state
+// from the engine.
+type sourcesRequest struct {
+	Add    []string `json:"add,omitempty"`
+	Remove []string `json:"remove,omitempty"`
+}
+
+// sourcesResponse reports the aggregator's source list after the
+// update.
+type sourcesResponse struct {
+	Sources []string `json:"sources"`
+	// Removed lists the removed URLs whose absorbed engine state was
+	// actually dropped (a URL never pulled has no state to drop).
+	Removed []string `json:"removed,omitempty"`
+}
+
+// handleAdminSources updates an aggregator's pull membership at
+// runtime — the aggregator half of a cluster membership change. Only
+// aggregators have a puller; on any other daemon the endpoint answers
+// 409 so a misdirected membership update fails loudly instead of
+// silently doing nothing.
+func (s *server) handleAdminSources(w http.ResponseWriter, r *http.Request) {
+	if s.puller == nil {
+		httpError(w, http.StatusConflict, errors.New("not an aggregator: no -pull-from sources to update"))
+		return
+	}
+	var req sourcesRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		bodyError(w, fmt.Errorf("decoding sources update: %w", err))
+		return
+	}
+	if len(req.Add) == 0 && len(req.Remove) == 0 {
+		httpError(w, http.StatusBadRequest, errors.New("empty sources update"))
+		return
+	}
+	for _, u := range req.Add {
+		if err := s.puller.Add(u); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("adding %q: %w", u, err))
+			return
+		}
+	}
+	resp := sourcesResponse{}
+	for _, u := range req.Remove {
+		u = strings.TrimRight(strings.TrimSpace(u), "/")
+		s.puller.Remove(u)
+		// Drop the absorbed state too: from this update on, the removed
+		// peer's rows must reach this aggregator only through whichever
+		// successor absorbed them.
+		if s.eng.RemoveSource(u) {
+			resp.Removed = append(resp.Removed, u)
+		}
+	}
+	resp.Sources = s.puller.Sources()
+	writeJSON(w, resp)
+}

@@ -1,0 +1,204 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// observeRows feeds rows to a daemon over the wire.
+func adminObserveRows(t *testing.T, url string, rows [][]uint16) {
+	t.Helper()
+	resp, body := postJSON(t, url+"/v1/observe", observeRequest{Rows: rows})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("observe: %d %s", resp.StatusCode, body)
+	}
+}
+
+// queryFreq asks one daemon for a full-projection point frequency.
+func queryFreq(t *testing.T, url string, pattern []uint16) float64 {
+	t.Helper()
+	cols := make([]int, len(pattern))
+	for i := range cols {
+		cols[i] = i
+	}
+	resp, body := postJSON(t, url+"/v1/query", queryRequest{Queries: []querySpec{
+		{Kind: "freq", Cols: cols, Pattern: pattern},
+	}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: %d %s", resp.StatusCode, body)
+	}
+	var out queryResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 1 || out.Results[0].Error != "" {
+		t.Fatalf("query results: %s", body)
+	}
+	return out.Results[0].Value
+}
+
+// daemonStats fetches and decodes /v1/stats.
+func daemonStats(t *testing.T, url string) statsResponse {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestAdminHandoffAbsorbsPeer drives the ingest half of a membership
+// change: a successor told to absorb a departing peer serves the
+// peer's rows from its own engine, re-issuing the hand-off replaces
+// rather than double-counts, and the hand-off is listed on stats for
+// the orchestrator to verify.
+func TestAdminHandoffAbsorbsPeer(t *testing.T) {
+	const d, q, seed = 4, 3, 7
+	peer, _ := startDaemon(t, "exact", d, q, seed)
+	succ, _ := startDaemon(t, "exact", d, q, seed)
+
+	row := []uint16{1, 2, 0, 1}
+	adminObserveRows(t, peer.URL, [][]uint16{row, row, row})
+	adminObserveRows(t, succ.URL, [][]uint16{row})
+
+	resp, body := postJSON(t, succ.URL+"/v1/admin/handoff", handoffRequest{Source: peer.URL})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("handoff: %d %s", resp.StatusCode, body)
+	}
+	var ack handoffResponse
+	if err := json.Unmarshal(body, &ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.Source != peer.URL || ack.Rows != 3 || ack.ETag == "" {
+		t.Fatalf("handoff ack: %+v", ack)
+	}
+	if got := queryFreq(t, succ.URL, row); got != 4 {
+		t.Fatalf("successor serves %v, want 1 local + 3 handed off = 4", got)
+	}
+
+	// The peer keeps ingesting before decommission; re-issuing the
+	// hand-off replaces the absorbed snapshot (4 peer rows, not 3+4).
+	adminObserveRows(t, peer.URL, [][]uint16{row})
+	resp, body = postJSON(t, succ.URL+"/v1/admin/handoff", handoffRequest{Source: peer.URL})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-handoff: %d %s", resp.StatusCode, body)
+	}
+	if got := queryFreq(t, succ.URL, row); got != 5 {
+		t.Fatalf("successor serves %v after re-handoff, want 5 (replace, not accumulate)", got)
+	}
+
+	// Stats surface the hand-off so an orchestrator can verify before
+	// decommissioning the peer.
+	st := daemonStats(t, succ.URL)
+	if st.Cluster == nil || len(st.Cluster.Handoffs) != 1 || st.Cluster.Handoffs[0].URL != peer.URL {
+		t.Fatalf("stats cluster block: %+v", st.Cluster)
+	}
+	if st.Cluster.Handoffs[0].Rows != 4 {
+		t.Fatalf("handoff stats rows: %+v", st.Cluster.Handoffs[0])
+	}
+
+	// An unreachable peer is a retryable 502, and nothing is recorded.
+	gone := httptest.NewServer(http.NotFoundHandler())
+	goneURL := gone.URL
+	gone.Close()
+	resp, _ = postJSON(t, succ.URL+"/v1/admin/handoff", handoffRequest{Source: goneURL})
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("handoff from dead peer: %d, want 502", resp.StatusCode)
+	}
+	if st := daemonStats(t, succ.URL); len(st.Cluster.Handoffs) != 1 {
+		t.Fatalf("failed handoff recorded: %+v", st.Cluster.Handoffs)
+	}
+
+	// Refusals: empty and malformed sources.
+	resp, _ = postJSON(t, succ.URL+"/v1/admin/handoff", handoffRequest{Source: "  "})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("blank source: %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestAdminSourcesRetargetsAggregator drives the aggregator half: the
+// pull set changes at runtime and removing a source also drops its
+// absorbed rows from served answers.
+func TestAdminSourcesRetargetsAggregator(t *testing.T) {
+	const d, q, seed = 4, 3, 7
+	src1, _ := startDaemon(t, "exact", d, q, seed)
+	src2, _ := startDaemon(t, "exact", d, q, seed)
+	row := []uint16{0, 1, 2, 0}
+	adminObserveRows(t, src1.URL, [][]uint16{row, row})
+	adminObserveRows(t, src2.URL, [][]uint16{row, row, row})
+
+	// An aggregator is a daemon with a puller wired in; build one the
+	// way run() does, against src1 only.
+	eng, err := engine.NewSharded(func(shard int) (core.Summary, error) {
+		return buildSummary("exact", d, q, 0.25, 0.05, 0.3, seed, shard)
+	}, engine.Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(eng, standardSubspaceBuilder("exact", d, q, 0.25, 0.05, 0.3, seed))
+	srv.pullTimeout = time.Second
+	p, err := cluster.NewPuller([]string{src1.URL}, srv, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.puller = p
+	agg := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		agg.Close()
+		eng.Close()
+	})
+	if err := p.PullOnce(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	if got := queryFreq(t, agg.URL, row); got != 2 {
+		t.Fatalf("aggregator serves %v, want src1's 2", got)
+	}
+
+	// Swap src1 for src2: src1's absorbed rows disappear with it.
+	resp, body := postJSON(t, agg.URL+"/v1/admin/sources", sourcesRequest{
+		Add:    []string{src2.URL},
+		Remove: []string{src1.URL},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sources update: %d %s", resp.StatusCode, body)
+	}
+	var ack sourcesResponse
+	if err := json.Unmarshal(body, &ack); err != nil {
+		t.Fatal(err)
+	}
+	if len(ack.Sources) != 1 || ack.Sources[0] != src2.URL ||
+		len(ack.Removed) != 1 || ack.Removed[0] != src1.URL {
+		t.Fatalf("sources ack: %+v", ack)
+	}
+	if got := queryFreq(t, agg.URL, row); got != 0 {
+		t.Fatalf("aggregator serves %v right after removal, want 0 (src2 not pulled yet)", got)
+	}
+	if err := p.PullOnce(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	if got := queryFreq(t, agg.URL, row); got != 3 {
+		t.Fatalf("aggregator serves %v after pulling src2, want 3", got)
+	}
+
+	// Refusals: empty update, and the endpoint on a non-aggregator.
+	resp, _ = postJSON(t, agg.URL+"/v1/admin/sources", sourcesRequest{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty update: %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, src1.URL+"/v1/admin/sources", sourcesRequest{Add: []string{src2.URL}})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("sources update on ingest daemon: %d, want 409", resp.StatusCode)
+	}
+}

@@ -326,10 +326,18 @@ func freeAddr(t *testing.T) string {
 }
 
 // startChildDaemon execs this test binary as a real projfreqd process
-// (see TestMain) and waits until it serves /v1/stats.
+// (see TestMain) with a durable data dir and waits until it serves
+// /v1/stats.
 func startChildDaemon(t *testing.T, addr, dir string, extra string) *exec.Cmd {
 	t.Helper()
 	args := fmt.Sprintf("-addr %s -summary exact -d 5 -q 3 -shards 2 -data-dir %s -fsync always %s", addr, dir, extra)
+	return startChildDaemonArgs(t, addr, args)
+}
+
+// startChildDaemonArgs is startChildDaemon with a caller-built flag
+// string, for modes the durable default doesn't cover (in-memory).
+func startChildDaemonArgs(t *testing.T, addr, args string) *exec.Cmd {
+	t.Helper()
 	cmd := exec.Command(os.Args[0])
 	cmd.Env = append(os.Environ(), "PROJFREQD_CHILD_ARGS="+args)
 	cmd.Stderr = os.Stderr
@@ -352,6 +360,42 @@ func startChildDaemon(t *testing.T, addr, dir string, extra string) *exec.Cmd {
 	cmd.Wait()
 	t.Fatal("child daemon did not come up")
 	return nil
+}
+
+// TestDaemonInMemoryObserve pins the -data-dir-less mode end-to-end
+// through the real process wiring: run() once assigned its typed-nil
+// *store.Store into engine.Config.Log, which passes the engine's
+// log == nil check and panicked /v1/observe on the first request.
+// Handler-level tests never catch this shape — they build engines
+// without touching the flag plumbing — so this one execs the daemon.
+func TestDaemonInMemoryObserve(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a real daemon process")
+	}
+	addr := freeAddr(t)
+	child := startChildDaemonArgs(t, addr,
+		fmt.Sprintf("-addr %s -summary exact -d 5 -q 3 -shards 2", addr))
+	defer func() {
+		child.Process.Kill()
+		child.Wait()
+	}()
+
+	blob, err := json.Marshal(observeRequest{Rows: killBatch(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post("http://"+addr+"/v1/observe", "application/json", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatalf("in-memory observe: %v", err)
+	}
+	var or observeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&or); err != nil {
+		t.Fatalf("decoding observe response (status %d): %v", resp.StatusCode, err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || or.Accepted != len(killBatch(0)) {
+		t.Fatalf("in-memory observe: status %d, accepted %d", resp.StatusCode, or.Accepted)
+	}
 }
 
 // killBatch builds the deterministic i-th batch of the kill test.

@@ -54,6 +54,7 @@ import (
 	"hash/fnv"
 	"io"
 	"log"
+	"net"
 	"net/http"
 	_ "net/http/pprof" // profiling endpoints for the opt-in -pprof listener
 	"os"
@@ -104,8 +105,9 @@ func run() error {
 		staleRow = flag.Int64("max-staleness-rows", 0, "serve reads from a snapshot missing at most this many rows (0 = always fresh)")
 		pullFrom = flag.String("pull-from", "", "comma-separated ingest-node base URLs to pull summaries from (makes this daemon an aggregator)")
 		pullIvl  = flag.Duration("pull-interval", time.Second, "anti-entropy pull cadence (aggregator only)")
-		pullTO   = flag.Duration("pull-timeout", 10*time.Second, "per-pull HTTP timeout (aggregator only)")
+		pullTO   = flag.Duration("pull-timeout", 10*time.Second, "per-pull HTTP timeout (aggregator pulls and admin hand-offs)")
 		pprofAd  = flag.String("pprof", "", "pprof listen address (e.g. localhost:6060); empty disables profiling")
+		portfile = flag.String("portfile", "", "write the bound listen address to this file once serving (for -addr :0 callers like the cluster test harness)")
 	)
 	flag.Parse()
 
@@ -131,20 +133,27 @@ func run() error {
 		defer wal.Close()
 	}
 
-	eng, err := engine.NewSharded(func(shard int) (core.Summary, error) {
-		return buildSummary(*kind, *d, *q, *eps, *delta, *alpha, *seed, shard)
-	}, engine.Config{
+	cfg := engine.Config{
 		Shards:               *shards,
-		Log:                  wal,
 		MaxStalenessRows:     *staleRow,
 		MaxStalenessInterval: *staleDur,
-	})
+	}
+	if wal != nil {
+		// Assign only a live store: a typed-nil *store.Store in the
+		// Log interface field passes the engine's log == nil check and
+		// the first observe panics inside the nil store.
+		cfg.Log = wal
+	}
+	eng, err := engine.NewSharded(func(shard int) (core.Summary, error) {
+		return buildSummary(*kind, *d, *q, *eps, *delta, *alpha, *seed, shard)
+	}, cfg)
 	if err != nil {
 		return err
 	}
 
 	srv := newServer(eng, standardSubspaceBuilder(*kind, *d, *q, *eps, *delta, *alpha, *seed))
 	srv.wal = wal
+	srv.pullTimeout = *pullTO
 	if wal != nil {
 		// Recovery must finish before the listener opens: replayed
 		// records route through the same code as live ones, and mixing
@@ -190,9 +199,23 @@ func run() error {
 			}
 		}()
 	}
+	// The listener is opened explicitly (rather than via
+	// ListenAndServe) so -addr :0 callers can learn the kernel-chosen
+	// port from -portfile before the first request — the cluster test
+	// harness leans on this to spawn nodes without a free-port race.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	if *portfile != "" {
+		if err := store.WriteFileAtomic(*portfile, []byte(ln.Addr().String()), 0o644); err != nil {
+			ln.Close()
+			return fmt.Errorf("writing portfile: %w", err)
+		}
+	}
 	errc := make(chan error, 1)
-	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("projfreqd: serving %s on %s", eng.Name(), *addr)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	log.Printf("projfreqd: serving %s on %s", eng.Name(), ln.Addr())
 
 	select {
 	case err := <-errc:
@@ -304,6 +327,17 @@ type server struct {
 	// in the engine's source map — soft by design, so aggregators
 	// refuse -data-dir and reconverge by re-pulling after a restart.
 	puller *cluster.Puller
+	// pullTimeout bounds each anti-entropy pull and each admin
+	// hand-off fetch.
+	pullTimeout time.Duration
+	// handoffMu guards handoffs: the record of peers this daemon has
+	// absorbed through /v1/admin/handoff (a membership-change slice
+	// hand-off). Handed-off state is soft like all AbsorbSource state —
+	// it is not in the WAL or checkpoints — so the record is surfaced
+	// on /v1/stats and the orchestrator re-issues the hand-off if this
+	// daemon restarts before the departed peer is decommissioned.
+	handoffMu sync.Mutex
+	handoffs  map[string]cluster.SourceStats
 }
 
 // newServer wires the endpoint routes around the engine.
@@ -326,6 +360,8 @@ func newServer(eng *engine.Sharded, subBuild subspaceBuilder) *server {
 	s.mux.HandleFunc("GET /v1/subspaces", s.handleSubspacesList)
 	s.mux.HandleFunc("POST /v1/subspaces", s.handleSubspacesRegister)
 	s.mux.HandleFunc("POST /v1/admin/checkpoint", s.handleAdminCheckpoint)
+	s.mux.HandleFunc("POST /v1/admin/handoff", s.handleAdminHandoff)
+	s.mux.HandleFunc("POST /v1/admin/sources", s.handleAdminSources)
 	return s
 }
 
@@ -1061,13 +1097,16 @@ type statsResponse struct {
 	Cluster   *clusterJSON    `json:"cluster,omitempty"`
 }
 
-// clusterJSON is the anti-entropy block of /v1/stats, present only on
-// aggregators (-pull-from). The per-source counters are what the
-// cluster tests read to prove that idle sources cost 304 probes, not
-// blob transfers.
+// clusterJSON is the anti-entropy block of /v1/stats, present on
+// aggregators (-pull-from) and on any daemon that has absorbed a
+// membership hand-off. The per-source counters are what the cluster
+// tests read to prove that idle sources cost 304 probes, not blob
+// transfers; Handoffs is what a membership orchestrator checks before
+// decommissioning a departed peer.
 type clusterJSON struct {
-	Role    string                `json:"role"`
-	Sources []cluster.SourceStats `json:"sources"`
+	Role     string                `json:"role"`
+	Sources  []cluster.SourceStats `json:"sources,omitempty"`
+	Handoffs []cluster.SourceStats `json:"handoffs,omitempty"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -1099,6 +1138,12 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.puller != nil {
 		resp.Cluster = &clusterJSON{Role: "aggregator", Sources: s.puller.Stats()}
+	}
+	if handoffs := s.handoffStats(); len(handoffs) > 0 {
+		if resp.Cluster == nil {
+			resp.Cluster = &clusterJSON{Role: "ingest"}
+		}
+		resp.Cluster.Handoffs = handoffs
 	}
 	writeJSON(w, resp)
 }

@@ -35,9 +35,17 @@ const vnodesPerNode = 64
 // order) build identical rings and route every row identically —
 // which is what lets the cluster test harness recompute the router's
 // partition from outside the router process.
+//
+// A ring also carries a membership epoch: a monotonically increasing
+// version of the node set. The epoch does not affect routing — two
+// rings over the same nodes route identically at any epoch — it
+// exists so that a membership change is an observable, ordered event
+// (the router bumps it on every accepted change and reports it from
+// its stats and observe responses).
 type Ring struct {
 	nodes  []string // sorted, deduplicated
 	points []ringPoint
+	epoch  uint64
 }
 
 type ringPoint struct {
@@ -46,9 +54,16 @@ type ringPoint struct {
 }
 
 // NewRing builds a ring over the given node names (typically base
-// URLs). Names are deduplicated; order does not matter. At least one
-// node is required.
+// URLs) at membership epoch 0. Names are deduplicated; order does not
+// matter. At least one node is required.
 func NewRing(nodes []string) (*Ring, error) {
+	return NewRingEpoch(nodes, 0)
+}
+
+// NewRingEpoch is NewRing with an explicit membership epoch, used by
+// callers that version their node set across changes (the router's
+// membership endpoint builds each successor ring at epoch+1).
+func NewRingEpoch(nodes []string, epoch uint64) (*Ring, error) {
 	seen := make(map[string]bool, len(nodes))
 	uniq := make([]string, 0, len(nodes))
 	for _, n := range nodes {
@@ -65,7 +80,7 @@ func NewRing(nodes []string) (*Ring, error) {
 		return nil, errors.New("cluster: ring needs at least one node")
 	}
 	sort.Strings(uniq)
-	r := &Ring{nodes: uniq, points: make([]ringPoint, 0, len(uniq)*vnodesPerNode)}
+	r := &Ring{nodes: uniq, points: make([]ringPoint, 0, len(uniq)*vnodesPerNode), epoch: epoch}
 	for i, n := range uniq {
 		for v := 0; v < vnodesPerNode; v++ {
 			h := hashing.Fingerprint64([]byte(fmt.Sprintf("%s#%d", n, v)))
@@ -92,6 +107,15 @@ func (r *Ring) Nodes() []string {
 
 // Len returns the number of distinct nodes.
 func (r *Ring) Len() int { return len(r.nodes) }
+
+// Epoch returns the ring's membership epoch.
+func (r *Ring) Epoch() uint64 { return r.epoch }
+
+// Has reports whether node is a member of the ring.
+func (r *Ring) Has(node string) bool {
+	i := sort.SearchStrings(r.nodes, node)
+	return i < len(r.nodes) && r.nodes[i] == node
+}
 
 // Owner returns the node owning the given key hash: the first ring
 // point clockwise from it.
@@ -121,6 +145,142 @@ func RowKey(row []uint16) uint64 {
 // OwnerOfRow is Owner(RowKey(row)).
 func (r *Ring) OwnerOfRow(row []uint16) string {
 	return r.Owner(RowKey(row))
+}
+
+// Reassignment is one (from, to) flow of key space between two rings:
+// the fraction of the 64-bit hash ring whose owner changes from From
+// to To across a membership change.
+type Reassignment struct {
+	From  string  `json:"from"`
+	To    string  `json:"to"`
+	Share float64 `json:"share"`
+}
+
+// Diff describes the slice reassignments a membership change causes.
+// It is what the router's membership endpoint acts on: every removed
+// node must hand its summary off to a live successor before it can be
+// decommissioned without losing its slice of the stream.
+type Diff struct {
+	// FromEpoch and ToEpoch are the two rings' membership epochs.
+	FromEpoch uint64 `json:"from_epoch"`
+	ToEpoch   uint64 `json:"to_epoch"`
+	// Added and Removed are the membership delta, sorted.
+	Added   []string `json:"added,omitempty"`
+	Removed []string `json:"removed,omitempty"`
+	// Moved lists every (from, to) key-space flow with the share of
+	// the ring it covers, sorted by (From, To). Shares sum to the
+	// fraction of the ring whose owner changed — the consistent-hash
+	// promise is that this stays near (changed nodes)/N.
+	Moved []Reassignment `json:"moved,omitempty"`
+	// Successors maps each removed node to the member of the new ring
+	// that inherits the largest share of its key space — the natural
+	// hand-off target for the removed node's summary. (Summaries are
+	// mergeable but not splittable, so the whole summary goes to one
+	// successor even when the removed node's slices scatter.)
+	Successors map[string]string `json:"successors,omitempty"`
+}
+
+// Changed reports whether the membership differs at all.
+func (d Diff) Changed() bool { return len(d.Added) > 0 || len(d.Removed) > 0 }
+
+// Diff computes the slice reassignments from r to next by walking the
+// elementary arcs of the two rings' merged point sets: within one
+// elementary arc both rings' owners are constant, so summing arc
+// lengths per (oldOwner, newOwner) pair measures exactly the key
+// space that moves. Both rings see the walk read-only; the result is
+// deterministic for a given pair of rings.
+func (r *Ring) Diff(next *Ring) Diff {
+	d := Diff{FromEpoch: r.epoch, ToEpoch: next.epoch}
+	for _, n := range r.nodes {
+		if !next.Has(n) {
+			d.Removed = append(d.Removed, n)
+		}
+	}
+	for _, n := range next.nodes {
+		if !r.Has(n) {
+			d.Added = append(d.Added, n)
+		}
+	}
+
+	// Merge both rings' point hashes into one sorted boundary list.
+	// Every key strictly between two consecutive boundaries (and the
+	// upper boundary itself) has the same owner in each ring: the
+	// owner of the upper boundary.
+	bounds := make([]uint64, 0, len(r.points)+len(next.points))
+	for _, p := range r.points {
+		bounds = append(bounds, p.hash)
+	}
+	for _, p := range next.points {
+		bounds = append(bounds, p.hash)
+	}
+	sort.Slice(bounds, func(a, b int) bool { return bounds[a] < bounds[b] })
+	// Deduplicate (old and new rings share points for surviving nodes).
+	uniq := bounds[:0]
+	for i, b := range bounds {
+		if i == 0 || b != bounds[i-1] {
+			uniq = append(uniq, b)
+		}
+	}
+	bounds = uniq
+
+	// Arc lengths accumulate as float64: a pair inheriting the whole
+	// ring sums to 2^64, which wraps to zero in uint64 arithmetic (the
+	// replace-the-only-node case), and shares are reported as floats
+	// anyway.
+	const ringSpan = float64(1<<63) * 2
+	moved := make(map[[2]string]float64)
+	inherit := make(map[string]map[string]float64) // removed -> successor -> arc length
+	for i, b := range bounds {
+		// Arc (bounds[i-1], bounds[i]] — for i == 0 the arc wraps from
+		// the last boundary through 0, and its length is the two's
+		// complement difference, which wraps correctly in uint64.
+		arc := float64(b - bounds[(i+len(bounds)-1)%len(bounds)])
+		if len(bounds) == 1 {
+			// A single boundary owns the whole ring.
+			arc = ringSpan
+		}
+		from, to := r.Owner(b), next.Owner(b)
+		if from == to {
+			continue
+		}
+		moved[[2]string{from, to}] += arc
+		if m := inherit[from]; m != nil {
+			m[to] += arc
+		} else {
+			inherit[from] = map[string]float64{to: arc}
+		}
+	}
+	for pair, length := range moved {
+		d.Moved = append(d.Moved, Reassignment{From: pair[0], To: pair[1], Share: length / ringSpan})
+	}
+	sort.Slice(d.Moved, func(a, b int) bool {
+		if d.Moved[a].From != d.Moved[b].From {
+			return d.Moved[a].From < d.Moved[b].From
+		}
+		return d.Moved[a].To < d.Moved[b].To
+	})
+
+	if len(d.Removed) > 0 {
+		d.Successors = make(map[string]string, len(d.Removed))
+		for _, gone := range d.Removed {
+			best, bestLen := "", 0.0
+			for to, length := range inherit[gone] {
+				// Largest inherited share wins; ties (and the degenerate
+				// no-arcs case) break deterministically.
+				if best == "" || length > bestLen || (length == bestLen && to < best) {
+					best, bestLen = to, length
+				}
+			}
+			if best == "" {
+				// The removed node owned no elementary arc (possible only
+				// when every one of its vnodes was shadowed — vanishingly
+				// rare, but the hand-off still needs a deterministic home).
+				best = next.Owner(hashing.Fingerprint64([]byte(gone)))
+			}
+			d.Successors[gone] = best
+		}
+	}
+	return d
 }
 
 // PartitionBatch splits a batch into per-node sub-batches, keyed by

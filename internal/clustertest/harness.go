@@ -15,13 +15,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"net"
 	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"testing"
 	"time"
@@ -71,21 +71,6 @@ func CleanupBinaries() {
 	}
 }
 
-// FreeAddr reserves an ephemeral localhost port and returns it as
-// host:port. The listener is closed before returning, so the port can
-// (rarely) be stolen before the daemon binds it; tests that hit the
-// race fail loudly in WaitReady rather than hanging.
-func FreeAddr(t *testing.T) string {
-	t.Helper()
-	l, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	addr := l.Addr().String()
-	l.Close()
-	return addr
-}
-
 // LogDir resolves where node logs go: CLUSTERTEST_LOGDIR if set
 // (kept after the run — what CI uploads on failure), the test's temp
 // directory otherwise.
@@ -103,28 +88,35 @@ func LogDir(t *testing.T) string {
 // Node is one spawned cluster process (daemon or router).
 type Node struct {
 	Name string
-	Addr string // host:port the process listens on
+	Addr string // host:port the process listens on; "" until first start
 	Args []string
 	Bin  string // binary path
 
 	logDir string
+	id     int64 // process-wide unique, so log/port files never collide across tests or -count runs
 	starts int
 	cmd    *exec.Cmd
 	waitC  chan error
 }
 
+// nodeSeq hands out Node.id values.
+var nodeSeq atomic.Int64
+
 // URL returns the node's base URL.
 func (n *Node) URL() string { return "http://" + n.Addr }
 
 // NewNode prepares (but does not start) a process. args must not
-// include -addr; the harness owns the address so restarts reuse it.
+// include -addr or -portfile; the harness owns the address. The first
+// Start binds an ephemeral port (listener-first, announced through a
+// portfile, so there is no reserve-then-rebind race); restarts pin the
+// same address so the rest of the cluster keeps its configuration.
 func NewNode(t *testing.T, name, bin string, args ...string) *Node {
 	t.Helper()
 	return &Node{
 		Name:   name,
-		Addr:   FreeAddr(t),
 		Args:   args,
 		Bin:    bin,
+		id:     nodeSeq.Add(1),
 		logDir: LogDir(t),
 	}
 }
@@ -139,12 +131,27 @@ func (n *Node) Start(t *testing.T) {
 		t.Fatalf("node %s already running", n.Name)
 	}
 	n.starts++
-	logPath := filepath.Join(n.logDir, fmt.Sprintf("%s.run%d.log", n.Name, n.starts))
+	logPath := filepath.Join(n.logDir, fmt.Sprintf("%s-%d.run%d.log", n.Name, n.id, n.starts))
 	logFile, err := os.Create(logPath)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cmd := exec.Command(n.Bin, append([]string{"-addr", n.Addr}, n.Args...)...)
+	var args []string
+	var portfile string
+	if n.Addr == "" {
+		// First start: the process binds :0 itself and writes the
+		// kernel-chosen address to a portfile once its listener is live.
+		// The port is never "reserved then released", so another process
+		// cannot steal it between reservation and bind.
+		portfile = filepath.Join(n.logDir, fmt.Sprintf("%s-%d.run%d.port", n.Name, n.id, n.starts))
+		// A stale portfile (a prior run in the same CLUSTERTEST_LOGDIR)
+		// must not be mistaken for this process's announcement.
+		os.Remove(portfile)
+		args = append([]string{"-addr", "127.0.0.1:0", "-portfile", portfile}, n.Args...)
+	} else {
+		args = append([]string{"-addr", n.Addr}, n.Args...)
+	}
+	cmd := exec.Command(n.Bin, args...)
 	cmd.Stdout = logFile
 	cmd.Stderr = logFile
 	if err := cmd.Start(); err != nil {
@@ -159,7 +166,29 @@ func (n *Node) Start(t *testing.T) {
 	n.cmd = cmd
 	n.waitC = waitC
 	t.Cleanup(func() { n.Stop() })
+	if portfile != "" {
+		n.Addr = n.awaitPortfile(t, portfile)
+	}
 	n.WaitReady(t)
+}
+
+// awaitPortfile polls for the process's announced listen address.
+func (n *Node) awaitPortfile(t *testing.T, path string) string {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if blob, err := os.ReadFile(path); err == nil && len(blob) > 0 {
+			return strings.TrimSpace(string(blob))
+		}
+		select {
+		case err := <-n.waitC:
+			n.waitC <- err
+			t.Fatalf("node %s exited before announcing its port: %v (log: %s)", n.Name, err, n.logDir)
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	t.Fatalf("node %s never wrote its portfile %s", n.Name, path)
+	return ""
 }
 
 // WaitReady polls the node's /v1/stats until it answers 200.
@@ -222,25 +251,37 @@ func (n *Node) Restart(t *testing.T) {
 
 // Cluster is a running two-tier topology.
 type Cluster struct {
-	Ingest     []*Node
-	Aggregator *Node
-	Router     *Node
+	Ingest []*Node
+	// Proxies front the ingest nodes one-to-one when Config.Faults is
+	// set; the router and every aggregator then address the ingest tier
+	// through them, so a test can partition any ingest edge.
+	Proxies     []*Proxy
+	Aggregators []*Node
+	Aggregator  *Node // Aggregators[0]
+	Router      *Node
 }
 
 // Config sizes a cluster. Dim/Alphabet/Seed configure every daemon
 // identically (summaries must be merge-compatible across the tiers).
 type Config struct {
 	IngestNodes  int
+	Aggregators  int // aggregator count; default 1
 	Dim          int
 	Alphabet     int
 	Seed         uint64
 	Summary      string        // daemon -summary; default "exact"
 	PullInterval time.Duration // aggregator cadence; default 100ms
+	// Faults fronts every ingest node with a fault proxy; the ring's
+	// node set becomes the proxy URLs.
+	Faults bool
+	// RouterArgs are appended to the router's flags (e.g.
+	// "-retry-queue-rows", "0" to pin the legacy fail-fast contract).
+	RouterArgs []string
 }
 
 // StartCluster builds the binaries and brings up ingest nodes (each
-// durable, fsync=always, in its own scratch dir), one aggregator
-// pulling from all of them, and a router fronting both tiers.
+// durable, fsync=always, in its own scratch dir), aggregators pulling
+// from all of them, and a router fronting both tiers.
 func StartCluster(t *testing.T, cfg Config) *Cluster {
 	t.Helper()
 	bin := EnsureBinaries(t)
@@ -249,6 +290,9 @@ func StartCluster(t *testing.T, cfg Config) *Cluster {
 	}
 	if cfg.PullInterval == 0 {
 		cfg.PullInterval = 100 * time.Millisecond
+	}
+	if cfg.Aggregators == 0 {
+		cfg.Aggregators = 1
 	}
 	daemon := filepath.Join(bin, "projfreqd")
 	routerBin := filepath.Join(bin, "projfreq-router")
@@ -261,7 +305,9 @@ func StartCluster(t *testing.T, cfg Config) *Cluster {
 	}
 
 	c := &Cluster{}
-	var ingestURLs []string
+	// Ingest nodes start first: with portfile-announced addresses, the
+	// proxies (and every URL handed to the upper tiers) need the bound
+	// addresses to exist.
 	for i := 0; i < cfg.IngestNodes; i++ {
 		args := append(append([]string{}, shape...),
 			"-data-dir", t.TempDir(),
@@ -269,29 +315,54 @@ func StartCluster(t *testing.T, cfg Config) *Cluster {
 		)
 		n := NewNode(t, fmt.Sprintf("ingest%d", i), daemon, args...)
 		c.Ingest = append(c.Ingest, n)
-		ingestURLs = append(ingestURLs, n.URL())
+		n.Start(t)
 	}
+	var ingestURLs []string
+	if cfg.Faults {
+		for _, n := range c.Ingest {
+			p := NewProxy(t, n.Addr)
+			c.Proxies = append(c.Proxies, p)
+			ingestURLs = append(ingestURLs, p.URL())
+		}
+	} else {
+		ingestURLs = c.IngestURLs()
+	}
+
 	aggArgs := append(append([]string{}, shape...),
 		"-pull-from", strings.Join(ingestURLs, ","),
 		"-pull-interval", cfg.PullInterval.String(),
+		"-pull-timeout", "2s",
 	)
-	c.Aggregator = NewNode(t, "aggregator", daemon, aggArgs...)
-	c.Router = NewNode(t, "router", routerBin,
-		"-ingest", strings.Join(ingestURLs, ","),
-		"-aggregators", c.Aggregator.URL(),
-	)
-
-	for _, n := range c.Ingest {
-		n.Start(t)
+	var aggURLs []string
+	for i := 0; i < cfg.Aggregators; i++ {
+		a := NewNode(t, fmt.Sprintf("aggregator%d", i), daemon, aggArgs...)
+		c.Aggregators = append(c.Aggregators, a)
+		a.Start(t)
+		aggURLs = append(aggURLs, a.URL())
 	}
-	c.Aggregator.Start(t)
+	c.Aggregator = c.Aggregators[0]
+
+	routerArgs := append([]string{
+		"-ingest", strings.Join(ingestURLs, ","),
+		"-aggregators", strings.Join(aggURLs, ","),
+	}, cfg.RouterArgs...)
+	c.Router = NewNode(t, "router", routerBin, routerArgs...)
 	c.Router.Start(t)
 	return c
 }
 
-// IngestURLs returns the ingest tier's base URLs (the ring's node
-// set).
+// IngestURLs returns the ingest tier's base URLs as the upper tiers
+// see them: the fault proxies' URLs when the cluster runs with
+// Config.Faults, the nodes' own URLs otherwise. This is the ring's
+// node set.
 func (c *Cluster) IngestURLs() []string {
+	if len(c.Proxies) > 0 {
+		out := make([]string, len(c.Proxies))
+		for i, p := range c.Proxies {
+			out[i] = p.URL()
+		}
+		return out
+	}
 	out := make([]string, len(c.Ingest))
 	for i, n := range c.Ingest {
 		out[i] = n.URL()
@@ -358,6 +429,98 @@ func WaitConverged(t *testing.T, aggURL string, want int64, timeout time.Duratio
 	}
 	t.Fatalf("aggregator serves %d merged rows after %v, want %d (sources: %+v)",
 		last.Epoch.MergedRows, timeout, want, last.Cluster.Sources)
+}
+
+// Poll retries cond every 20ms until it returns true or the deadline
+// passes; timeouts fail the test with what. Chaos tests use this
+// instead of fixed sleeps so they wait exactly as long as the cluster
+// needs, no longer and — under CI load — no shorter.
+func Poll(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("gave up after %v waiting for %s", timeout, what)
+}
+
+// QueueStats mirrors the router's per-node retry-queue counters.
+type QueueStats struct {
+	Node         string  `json:"node"`
+	DepthRows    int     `json:"depth_rows"`
+	DepthBatches int     `json:"depth_batches"`
+	OldestAgeMS  float64 `json:"oldest_age_ms"`
+	CapRows      int     `json:"cap_rows"`
+	Enqueued     int64   `json:"enqueued"`
+	Delivered    int64   `json:"delivered"`
+	Shed         int64   `json:"shed"`
+	Rejected     int64   `json:"rejected"`
+	Attempts     int64   `json:"attempts"`
+	Failures     int64   `json:"failures"`
+	LastError    string  `json:"last_error"`
+}
+
+// AggHealth mirrors the router's per-aggregator health state.
+type AggHealth struct {
+	URL            string `json:"url"`
+	Healthy        bool   `json:"healthy"`
+	ConsecFailures int    `json:"consec_failures"`
+	Ejections      int64  `json:"ejections"`
+	Probes         int64  `json:"probes"`
+	LastError      string `json:"last_error"`
+}
+
+// RouterStats is the router's /v1/router/stats fault-tolerance view.
+type RouterStats struct {
+	Role        string       `json:"role"`
+	Epoch       uint64       `json:"epoch"`
+	Ingest      []string     `json:"ingest"`
+	Queues      []QueueStats `json:"queues"`
+	Aggregators []AggHealth  `json:"aggregators"`
+}
+
+// GetRouterStats fetches and decodes /v1/router/stats.
+func GetRouterStats(t *testing.T, routerURL string) RouterStats {
+	t.Helper()
+	resp, err := http.Get(routerURL + "/v1/router/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st RouterStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// WaitQueuesDrained polls the router until every retry queue is
+// empty: every row the router ever acked as accepted has been
+// delivered (or — if the test allowed it — terminally rejected).
+// Chaos schedules call this before flipping a fault on an edge so no
+// redelivery is in flight when the connection is cut, which is what
+// keeps their fault model whole-request (exactly-once provable).
+func WaitQueuesDrained(t *testing.T, routerURL string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	var last RouterStats
+	for time.Now().Before(deadline) {
+		last = GetRouterStats(t, routerURL)
+		drained := true
+		for _, q := range last.Queues {
+			if q.DepthRows > 0 {
+				drained = false
+			}
+		}
+		if drained {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("router queues not drained after %v: %+v", timeout, last.Queues)
 }
 
 // PostJSON posts a JSON body and returns status + response bytes.

@@ -1,0 +1,150 @@
+package clustertest
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startBackend runs a plain HTTP echo endpoint and returns a proxy in
+// front of it plus a client with a short timeout.
+func startBackend(t *testing.T) (*Proxy, *http.Client) {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		w.Write([]byte("echo:" + string(body)))
+	}))
+	t.Cleanup(ts.Close)
+	p := NewProxy(t, strings.TrimPrefix(ts.URL, "http://"))
+	// Connections must not be reused across SetFault flips: the proxy
+	// severs pooled conns, and a fresh dial is what picks up the new
+	// fault. Disabling keep-alives keeps each request one connection.
+	client := &http.Client{
+		Timeout:   2 * time.Second,
+		Transport: &http.Transport{DisableKeepAlives: true},
+	}
+	return p, client
+}
+
+func get(t *testing.T, client *http.Client, url string) (string, error) {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return string(body), err
+}
+
+// TestProxyFaultKinds walks the proxy through its whole fault
+// repertoire on one edge: pass, drop, blackhole, heal, delay.
+func TestProxyFaultKinds(t *testing.T) {
+	p, client := startBackend(t)
+
+	if body, err := get(t, client, p.URL()); err != nil || body != "echo:" {
+		t.Fatalf("pass-through: %q, %v", body, err)
+	}
+
+	// Drop: fast connection-level refusal.
+	p.SetFault(Fault{Kind: Drop})
+	start := time.Now()
+	if _, err := get(t, client, p.URL()); err == nil {
+		t.Fatal("request succeeded through a dropping proxy")
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("drop took %v, want a fast reset (not a timeout)", d)
+	}
+
+	// Blackhole: the request hangs until the client's own deadline.
+	p.SetFault(Fault{Kind: Blackhole})
+	hole := &http.Client{Timeout: 300 * time.Millisecond,
+		Transport: &http.Transport{DisableKeepAlives: true}}
+	start = time.Now()
+	if _, err := get(t, hole, p.URL()); err == nil {
+		t.Fatal("request succeeded through a blackhole")
+	}
+	if d := time.Since(start); d < 250*time.Millisecond {
+		t.Fatalf("blackholed request failed after %v, want it to hang to the client timeout", d)
+	}
+
+	// Heal: the edge recovers completely.
+	p.Heal()
+	if body, err := get(t, client, p.URL()); err != nil || body != "echo:" {
+		t.Fatalf("after heal: %q, %v", body, err)
+	}
+
+	// Delay: still correct, just slow.
+	p.SetFault(Fault{Kind: Delay, Delay: 120 * time.Millisecond})
+	start = time.Now()
+	body, err := get(t, client, p.URL())
+	if err != nil || body != "echo:" {
+		t.Fatalf("through delay: %q, %v", body, err)
+	}
+	if d := time.Since(start); d < 120*time.Millisecond {
+		t.Fatalf("delayed round trip took %v, want >= one injected delay", d)
+	}
+}
+
+// TestProxySetFaultSeversLiveConnections pins the semantics chaos
+// schedules depend on: flipping a fault kills connections opened
+// before the flip, so no pre-partition connection keeps working
+// through a partition.
+func TestProxySetFaultSeversLiveConnections(t *testing.T) {
+	p, _ := startBackend(t)
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Prove the connection is live end-to-end first.
+	if _, err := conn.Write([]byte("GET / HTTP/1.1\r\nHost: x\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err != nil {
+		t.Fatalf("pre-fault read: %v", err)
+	}
+
+	p.SetFault(Fault{Kind: Blackhole})
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadAll(conn); err != nil {
+		t.Fatalf("severed connection should read to EOF, got %v", err)
+	}
+}
+
+// TestProxySeverCutsMidStream checks the deliberately unsafe fault: a
+// response is cut after SeverAfter bytes, so the client sees a
+// truncated body, not a clean EOF at a message boundary. Direction
+// scoping keeps the request side intact.
+func TestProxySeverCutsMidStream(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Length", "4096")
+		w.Write(make([]byte, 4096))
+	}))
+	t.Cleanup(ts.Close)
+	p := NewProxy(t, strings.TrimPrefix(ts.URL, "http://"))
+	p.SetFault(Fault{Kind: Sever, Dir: ToClient, SeverAfter: 256})
+
+	client := &http.Client{Timeout: 2 * time.Second,
+		Transport: &http.Transport{DisableKeepAlives: true}}
+	resp, err := client.Get(p.URL())
+	if err != nil {
+		// The cut may land inside the response headers; that surfaces
+		// as a transport error, which is an acceptable sever too.
+		return
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err == nil && len(body) == 4096 {
+		t.Fatalf("full %d-byte body arrived through a severing proxy", len(body))
+	}
+	if len(body) > 256 {
+		t.Fatalf("%d bytes crossed a proxy severing at 256", len(body))
+	}
+}

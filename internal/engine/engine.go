@@ -899,6 +899,28 @@ func (s *Sharded) AbsorbSource(name string, sum core.Summary) error {
 	return nil
 }
 
+// RemoveSource drops a previously absorbed source's state and reports
+// whether the source was present. The next epoch rebuild serves
+// answers without the source's contribution — the membership-change
+// counterpart to AbsorbSource: when an ingest node leaves the cluster
+// and its summary is handed off to a successor, the aggregator must
+// drop its direct copy of the departed node or the successor's next
+// export would double-count every handed-off row.
+func (s *Sharded) RemoveSource(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.sources[name]; !ok {
+		return false
+	}
+	delete(s.sources, name)
+	// Removal changes the queryable state exactly like an absorb does:
+	// bump the absorb clock (it versions state, not a direction) and
+	// drop the epoch so no reader sees the removed source again.
+	s.absorbs++
+	s.cur.Store(nil)
+	return true
+}
+
 // SourceInfo describes one absorbed source (AbsorbSource).
 type SourceInfo struct {
 	// Name is the source key (for an aggregator, the peer's URL).

@@ -141,6 +141,52 @@ func TestAbsorbSourceNeverServedStale(t *testing.T) {
 	}
 }
 
+// TestRemoveSourceDropsAbsorbedState pins the membership-change
+// counterpart of AbsorbSource: once a departed peer's rows travel via
+// its hand-off successor, removing the direct source must drop its
+// absorbed summary from every served answer — keeping it would count
+// the slice twice.
+func TestRemoveSourceDropsAbsorbedState(t *testing.T) {
+	eng := sourceTestEngine(t, Config{})
+	w := words.Word{2, 2, 2, 2}
+	for i := 0; i < 2; i++ {
+		eng.Observe(w)
+	}
+	if err := eng.AbsorbSource("peer-a", sourceDonor(t, 5, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := eng.Frequency(words.FullColumnSet(4), w); err != nil || got != 7 {
+		t.Fatalf("before removal: freq %v, err %v (want 7)", got, err)
+	}
+	if !eng.RemoveSource("peer-a") {
+		t.Fatal("RemoveSource of present source reported absent")
+	}
+	if got, err := eng.Frequency(words.FullColumnSet(4), w); err != nil || got != 2 {
+		t.Fatalf("after removal: freq %v, err %v (want 2 local rows only)", got, err)
+	}
+	_, info, err := eng.SnapshotInfo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.MergedRows != 2 || info.Rows != 2 {
+		t.Fatalf("epoch rows after removal: merged %d local %d, want 2/2", info.MergedRows, info.Rows)
+	}
+	if srcs := eng.Sources(); len(srcs) != 0 {
+		t.Fatalf("sources after removal: %+v", srcs)
+	}
+	// Removing an absent or never-absorbed source is a reported no-op.
+	if eng.RemoveSource("peer-a") || eng.RemoveSource("ghost") {
+		t.Fatal("RemoveSource of absent source reported present")
+	}
+	// Re-absorbing after removal works (the hand-off retry path).
+	if err := eng.AbsorbSource("peer-a", sourceDonor(t, 4, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := eng.Frequency(words.FullColumnSet(4), w); err != nil || got != 6 {
+		t.Fatalf("after re-absorb: freq %v, err %v (want 6)", got, err)
+	}
+}
+
 // TestAbsorbSourceBlocksLateRegistration checks absorbed source state
 // gates subspace registration the way Absorb does.
 func TestAbsorbSourceBlocksLateRegistration(t *testing.T) {
